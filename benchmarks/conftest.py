@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures: trained models and workloads (session-scoped).
+
+Each benchmark regenerates one of the paper's tables or figures, printing
+the rows and writing them under ``results/``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import dnn_feature_matrix, generate_connections
+from repro.fixpoint import quantize_model
+from repro.ml import anomaly_detection_dnn
+from repro.testbed import EndToEndExperiment
+
+
+def pytest_configure(config):
+    # Benchmarks print their tables; -s is not required because we also
+    # persist everything under results/.
+    pass
+
+
+@pytest.fixture(scope="session")
+def connections():
+    return generate_connections(6000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def split(connections):
+    return connections.split(0.7, np.random.default_rng(5))
+
+
+@pytest.fixture(scope="session")
+def anomaly_dnn(split):
+    train, __ = split
+    model = anomaly_detection_dnn(seed=3)
+    model.fit(dnn_feature_matrix(train), train.labels, epochs=25, batch_size=64)
+    return model
+
+
+@pytest.fixture(scope="session")
+def anomaly_q(anomaly_dnn, split):
+    train, __ = split
+    return quantize_model(anomaly_dnn, dnn_feature_matrix(train)[:512])
+
+
+@pytest.fixture(scope="session")
+def experiment():
+    return EndToEndExperiment.build(
+        n_connections=4000, max_packets=120_000, epochs=20, seed=0
+    )

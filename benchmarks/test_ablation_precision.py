@@ -1,0 +1,79 @@
+"""Ablation (Section 5.1.2): datapath precision vs application cost.
+
+"For 16- and 32-bit data paths, both area and power will increase by about
+a factor of 2 and 4, respectively."  We recompile the anomaly DNN at each
+precision and check the factors — plus the accuracy side of the trade
+(Table 3 showed fix8 loses nothing, so the wider datapaths buy nothing).
+"""
+
+import pytest
+
+from repro.compiler import compile_graph
+from repro.core import render_table, write_result
+from repro.hw import CUGeometry
+from repro.mapreduce import dnn_graph
+
+
+def test_precision_ablation(benchmark, anomaly_q):
+    graph = dnn_graph(anomaly_q)
+
+    def sweep():
+        return {
+            prec: compile_graph(graph, CUGeometry(16, 4, prec))
+            for prec in ("fix8", "fix16", "fix32")
+        }
+
+    designs = benchmark(sweep)
+    base = designs["fix8"]
+    rows = [
+        [prec,
+         f"{d.area_mm2:.2f}", f"{d.area_mm2 / base.area_mm2:.2f}x",
+         f"{d.power_mw:.0f}", f"{d.power_mw / base.power_mw:.2f}x",
+         f"{d.latency_ns:.0f}"]
+        for prec, d in designs.items()
+    ]
+    table = render_table(
+        "Ablation: anomaly DNN cost vs datapath precision (16 lanes x 4 stages)",
+        ["precision", "mm^2", "area_x", "mW", "power_x", "ns"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("ablation_precision", table)
+    assert designs["fix16"].area_mm2 / base.area_mm2 == pytest.approx(2.0, rel=0.1)
+    assert designs["fix32"].area_mm2 / base.area_mm2 == pytest.approx(4.4, rel=0.15)
+    assert designs["fix16"].power_mw / base.power_mw == pytest.approx(1.95, rel=0.1)
+    # Latency is precision-independent (same pipeline depth).
+    assert designs["fix32"].latency_ns == base.latency_ns
+
+
+def test_lane_count_ablation(benchmark, anomaly_q):
+    """Section 5.1.1's lane-count argument: too few lanes split the widest
+    dot product across CUs (more area + latency); 16 covers the DNN's
+    12-wide layer."""
+    graph = dnn_graph(anomaly_q)
+
+    def sweep():
+        return {
+            lanes: compile_graph(graph, CUGeometry(lanes, 4, "fix8"))
+            for lanes in (8, 16, 32)
+        }
+
+    designs = benchmark(sweep)
+    rows = [
+        [lanes, f"{d.area_mm2:.2f}", d.n_cu, f"{d.latency_ns:.0f}"]
+        for lanes, d in designs.items()
+    ]
+    table = render_table(
+        "Ablation: anomaly DNN vs CU lane count",
+        ["lanes", "mm^2", "CUs", "ns"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("ablation_lanes", table)
+    # 8 lanes split the 12-wide dot: more CUs and longer critical path.
+    assert designs[8].latency_ns > designs[16].latency_ns
+    # 32 lanes leave half the datapath idle: marginal latency gain (more
+    # weights fit CU-local registers) but bigger total area — the
+    # under-utilization the paper's lane-count study warns about.
+    assert designs[32].latency_ns <= designs[16].latency_ns
+    assert designs[32].area_mm2 > designs[16].area_mm2

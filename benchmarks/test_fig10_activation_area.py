@@ -1,0 +1,56 @@
+"""Figure 10: area needed for each line-rate activation function as the
+CU stage count varies (2/3/4/6 stages).
+
+Shape to reproduce: cheap activations (ReLU) *grow* with stage count (one
+mostly-idle CU gets bigger); long-chain activations (Taylor-series tanh/
+sigmoid) shrink or stay flat as deeper CUs absorb more of the chain.
+"""
+
+from repro.compiler import compile_graph
+from repro.core import render_table, series_to_text, write_result
+from repro.hw import CUGeometry
+from repro.mapreduce import activation_graph
+
+ACTIVATION_NAMES = (
+    "relu", "leaky_relu", "tanh_exp", "sigmoid_exp", "tanh_pw", "sigmoid_pw", "act_lut",
+)
+STAGES = (2, 3, 4, 6)
+
+
+def sweep():
+    out = {}
+    for name in ACTIVATION_NAMES:
+        for stages in STAGES:
+            design = compile_graph(activation_graph(name), CUGeometry(16, stages))
+            out[(name, stages)] = design.area_mm2
+    return out
+
+
+def test_fig10(benchmark):
+    results = benchmark(sweep)
+    rows = [
+        [name, *(f"{results[(name, s)]:.3f}" for s in STAGES)]
+        for name in ACTIVATION_NAMES
+    ]
+    table = render_table(
+        "Figure 10: activation area (mm^2) at line rate vs stage count",
+        ["activation", *(f"stages={s}" for s in STAGES)],
+        rows,
+    )
+    print("\n" + table)
+    write_result("fig10_activation_area", table)
+    series = {
+        name: [(float(s), results[(name, s)]) for s in STAGES]
+        for name in ACTIVATION_NAMES
+    }
+    write_result("fig10_series", series_to_text("fig10 area vs stages", series))
+
+    # ReLU grows with stages (idle stages still cost area).
+    relu = [results[("relu", s)] for s in STAGES]
+    assert relu == sorted(relu)
+    # The Taylor-series sigmoid shrinks from 2 -> 6 stages.
+    assert results[("sigmoid_exp", 6)] < results[("sigmoid_exp", 2)]
+    # At 4 stages, Table 6's ordering holds.
+    at4 = {name: results[(name, 4)] for name in ACTIVATION_NAMES}
+    assert at4["relu"] < at4["act_lut"] < at4["tanh_pw"]
+    assert at4["tanh_pw"] < at4["tanh_exp"] < at4["sigmoid_exp"]

@@ -1,0 +1,64 @@
+"""Figure 14: convergence vs epochs x batch size at sampling rate 1e-2.
+
+Paper shape: "training with smaller batches and more epochs converges
+faster" — 10 epochs / batch 64 reaches the target first; 1 epoch / batch
+256 is slowest.
+"""
+
+from repro.core import render_table, series_to_text, write_result
+from repro.testbed import OnlineTrainer
+
+CONFIGS = ((1, 64), (1, 256), (10, 64), (10, 256))
+
+
+def test_fig14(benchmark, split):
+    train, test = split
+    trainer = OnlineTrainer(
+        train_pool=train, test_pool=test, packet_rate_pps=500_000, seed=1
+    )
+
+    def sweep():
+        return {
+            (epochs, batch): trainer.run(
+                1e-2, batch_size=batch, epochs=epochs, horizon_s=3.0,
+                max_updates=250,
+            )
+            for epochs, batch in CONFIGS
+        }
+
+    curves = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    target = 69.0
+    rows = []
+    for config in CONFIGS:
+        curve = curves[config]
+        reach = trainer.time_to_reach(curve, target)
+        rows.append(
+            [f"{config[0]}/{config[1]}",
+             f"{curve[-1].f1_percent:.1f}",
+             f"{reach * 1e3:.0f} ms" if reach is not None else ">3 s"]
+        )
+    table = render_table(
+        f"Figure 14: epochs/batch vs convergence (sampling 1e-2, F1 >= {target})",
+        ["epochs/batch", "final_f1", "time_to_target"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("fig14_batch_epochs", table)
+    series = {
+        f"{e}/{b}": [(p.time_s, p.f1_percent) for p in curves[(e, b)]]
+        for e, b in CONFIGS
+    }
+    write_result("fig14_series", series_to_text("fig14 F1 vs time", series))
+
+    t = {c: trainer.time_to_reach(curves[c], target) or float("inf") for c in CONFIGS}
+    # More epochs converge faster at fixed batch size.
+    assert t[(10, 64)] <= t[(1, 64)]
+    assert t[(10, 256)] <= t[(1, 256)]
+    # Small-batch many-epoch is the fastest configuration overall (the
+    # added training time is offset by faster convergence).
+    assert t[(10, 64)] == min(t.values())
+    # 1 epoch / batch 256 (fewest updates, least progress each) is slowest.
+    assert t[(1, 256)] == max(t.values())
+    # Every configuration converges within the window and improves F1.
+    for config in CONFIGS:
+        assert curves[config][-1].f1_percent > curves[config][0].f1_percent

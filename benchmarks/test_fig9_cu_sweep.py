@@ -1,0 +1,53 @@
+"""Figure 9: per-FU area and power across the CU design space
+(lanes 4/8/16/32 x stages 2/3/4/6).
+
+Shape to reproduce: per-FU cost falls with lane count (shared control
+amortizes) and is nearly flat in stage count.
+"""
+
+from repro.core import render_table, series_to_text, write_result
+from repro.hw import CUGeometry, fu_area_um2, fu_power_uw
+
+LANES = (4, 8, 16, 32)
+STAGES = (2, 3, 4, 6)
+
+
+def sweep():
+    return {
+        (lanes, stages): (
+            fu_area_um2(CUGeometry(lanes, stages)),
+            fu_power_uw(CUGeometry(lanes, stages)),
+        )
+        for lanes in LANES
+        for stages in STAGES
+    }
+
+
+def test_fig9(benchmark):
+    results = benchmark(sweep)
+    rows = [
+        [lanes, stages, f"{area:.0f}", f"{power:.0f}"]
+        for (lanes, stages), (area, power) in sorted(results.items())
+    ]
+    table = render_table(
+        "Figure 9: per-FU area (um^2) and power (uW) vs lanes x stages",
+        ["lanes", "stages", "area_per_fu", "power_per_fu"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("fig9_cu_sweep", table)
+    series = {
+        f"stages={s}": [(float(l), results[(l, s)][0]) for l in LANES]
+        for s in STAGES
+    }
+    write_result("fig9_area_series", series_to_text("fig9a area per FU", series))
+
+    # Shape: monotone decrease with lanes for every stage count.
+    for stages in STAGES:
+        areas = [results[(lanes, stages)][0] for lanes in LANES]
+        powers = [results[(lanes, stages)][1] for lanes in LANES]
+        assert areas == sorted(areas, reverse=True)
+        assert powers == sorted(powers, reverse=True)
+    # Fig. 9a dynamic range: ~1.5k um^2 at 4 lanes down to ~0.5k at 32.
+    assert 1300 < results[(4, 4)][0] < 1700
+    assert 450 < results[(32, 4)][0] < 600

@@ -1,0 +1,68 @@
+"""Section 5.1.4: MAT-only ML (N2Net, IIsy) vs Taurus iso-area cost.
+
+Paper: N2Net needs ~12 MATs/layer (48 for the anomaly DNN); IIsy uses 8
+MATs for an SVM and 2 for KMeans; one Taurus MapReduce block displaces ~3
+MATs and runs the full-precision DNN.
+"""
+
+import numpy as np
+
+from repro.baselines import (
+    BinarizedDNN,
+    iisy_mat_cost,
+    n2net_mat_cost,
+    taurus_iso_area_mats,
+)
+from repro.core import render_table, write_result
+from repro.datasets import dnn_feature_matrix
+from repro.ml import f1_score
+
+
+def test_mat_cost_comparison(benchmark):
+    def costs():
+        return {
+            "N2Net BNN (anomaly DNN)": n2net_mat_cost(4).n_mats,
+            "IIsy SVM": iisy_mat_cost("svm").n_mats,
+            "IIsy KMeans": iisy_mat_cost("kmeans").n_mats,
+            "Taurus block (iso-area)": taurus_iso_area_mats(),
+        }
+
+    results = benchmark(costs)
+    rows = [[name, f"{mats:.1f}"] for name, mats in results.items()]
+    table = render_table(
+        "Section 5.1.4: MAT-stage cost of in-network ML",
+        ["scheme", "MATs"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("sec514_mat_only", table)
+    assert results["N2Net BNN (anomaly DNN)"] == 48
+    assert results["Taurus block (iso-area)"] < 3.5
+    assert results["N2Net BNN (anomaly DNN)"] / results["Taurus block (iso-area)"] > 10
+
+
+def test_bnn_accuracy_penalty(benchmark, anomaly_dnn, anomaly_q, split):
+    """N2Net's binarization is imprecise; Taurus keeps fix8 fidelity."""
+    train, test = split
+    x_train = dnn_feature_matrix(train)
+    x_test = dnn_feature_matrix(test)
+
+    def build_and_score():
+        bnn = BinarizedDNN(anomaly_dnn)
+        bnn.calibrate(x_train, train.labels)
+        return f1_score(test.labels, bnn.predict(x_test))
+
+    bnn_f1 = benchmark(build_and_score)
+    fix8_pred = (anomaly_q(x_test).reshape(-1) >= 0.5).astype(np.int64)
+    fix8_f1 = f1_score(test.labels, fix8_pred)
+    table = render_table(
+        "Section 5.1.4: accuracy cost of binarization (anomaly detection F1)",
+        ["implementation", "F1", "MATs/area"],
+        [
+            ["N2Net BNN on MATs", f"{bnn_f1:.3f}", "48 MATs"],
+            ["Taurus fix8 DNN", f"{fix8_f1:.3f}", "~3 MATs iso-area"],
+        ],
+    )
+    print("\n" + table)
+    write_result("sec514_bnn_accuracy", table)
+    assert fix8_f1 > bnn_f1

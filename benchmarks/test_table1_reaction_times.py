@@ -1,0 +1,45 @@
+"""Table 1: in-network applications and their required reaction times.
+
+Regenerates the table from the application registry and checks which
+requirements each architecture (control plane at ~32 ms vs Taurus at
+~221 ns) can serve.
+"""
+
+from repro.apps import APPLICATIONS, ReactionTime, meets_requirement
+from repro.core import render_table, write_result
+
+CONTROL_PLANE_LATENCY_S = 32e-3   # Table 8 best case
+TAURUS_LATENCY_S = 221e-9         # Table 5 DNN
+
+
+def build_rows():
+    rows = []
+    for app in APPLICATIONS:
+        marks = [
+            "x" if t in app.timescales else ""
+            for t in (ReactionTime.PACKET, ReactionTime.FLOWLET,
+                      ReactionTime.FLOW, ReactionTime.MICROBURST)
+        ]
+        rows.append(
+            [app.name, app.category, *marks,
+             "yes" if meets_requirement(app, TAURUS_LATENCY_S) else "no",
+             "yes" if meets_requirement(app, CONTROL_PLANE_LATENCY_S) else "no"]
+        )
+    return rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(build_rows)
+    table = render_table(
+        "Table 1: reaction-time requirements (x = required timescale)",
+        ["application", "category", "pkt", "flowlet", "flow", "uburst",
+         "taurus_ok", "ctrl_plane_ok"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("table1_reaction_times", table)
+    # Shape assertions: Taurus serves everything; the control plane cannot
+    # serve any packet-timescale application.
+    assert all(row[-2] == "yes" for row in rows)
+    pkt_rows = [row for row in rows if row[2] == "x"]
+    assert pkt_rows and all(row[-1] == "no" for row in pkt_rows)

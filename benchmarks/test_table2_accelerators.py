@@ -1,0 +1,45 @@
+"""Table 2: unbatched anomaly-DNN inference latency on control-plane
+accelerators (Broadwell Xeon 0.67 ms, Tesla T4 1.15 ms, Cloud TPU 3.51 ms).
+"""
+
+import pytest
+
+from repro.baselines import ACCELERATORS, CPU_XEON
+from repro.core import render_table, write_result
+
+PAPER_MS = {"Broadwell Xeon": 0.67, "Tesla T4 GPU": 1.15, "Cloud TPU v2-8": 3.51}
+
+
+def test_table2(benchmark):
+    latencies = benchmark(
+        lambda: {name: model.latency_ms(1) for name, model in ACCELERATORS.items()}
+    )
+    rows = [
+        [name, f"{latencies[name]:.2f}", f"{PAPER_MS[name]:.2f}"]
+        for name in PAPER_MS
+    ]
+    table = render_table(
+        "Table 2: unbatched inference latency (ms)",
+        ["accelerator", "measured", "paper"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("table2_accelerators", table)
+    for name, paper in PAPER_MS.items():
+        assert latencies[name] == pytest.approx(paper, rel=0.05)
+    # Ordering: CPU < GPU < TPU for batch-1 (setup-dominated).
+    assert latencies["Broadwell Xeon"] < latencies["Tesla T4 GPU"]
+    assert latencies["Tesla T4 GPU"] < latencies["Cloud TPU v2-8"]
+
+
+def test_table2_batching_crossover(benchmark):
+    """Extension: the GPU/TPU win back throughput at large batches — the
+    batching-vs-latency tension Section 2.1.2 describes."""
+
+    def per_item():
+        return {
+            name: model.per_item_ms(1024) for name, model in ACCELERATORS.items()
+        }
+
+    amortized = benchmark(per_item)
+    assert amortized["Tesla T4 GPU"] < CPU_XEON.per_item_ms(1)

@@ -1,0 +1,55 @@
+"""Table 3: float32 vs fix8 accuracy for the TMC IoT DNN classifiers.
+
+Paper: 4x10x2 / 4x5x5x2 / 4x10x10x2 kernels, ~67% accuracy, quantization
+diff within ~0.1 pp.
+"""
+
+from repro.core import render_table, write_result
+from repro.datasets import iot_binary_dataset
+from repro.fixpoint import quantize_model
+from repro.ml import accuracy, iot_classifier_dnn
+
+KERNELS = ((4, 10, 2), (4, 5, 5, 2), (4, 10, 10, 2))
+PAPER = {  # (float32 %, fix8 %, diff pp)
+    (4, 10, 2): (67.06, 67.01, -0.05),
+    (4, 5, 5, 2): (67.02, 66.95, -0.07),
+    (4, 10, 10, 2): (67.04, 67.02, -0.02),
+}
+
+
+def run_kernel(kernel, x, y, cut):
+    model = iot_classifier_dnn(kernel, seed=0)
+    model.fit(x[:cut], y[:cut], epochs=20, batch_size=64, lr=0.05)
+    qmodel = quantize_model(model, x[:512])
+    acc_float = 100.0 * accuracy(y[cut:], model.predict(x[cut:]))
+    acc_fix8 = 100.0 * accuracy(y[cut:], qmodel.predict(x[cut:]))
+    return acc_float, acc_fix8
+
+
+def test_table3(benchmark):
+    x, y = iot_binary_dataset(6000, seed=2)
+    cut = 4500
+
+    def sweep():
+        return {k: run_kernel(k, x, y, cut) for k in KERNELS}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = []
+    for kernel in KERNELS:
+        acc_f, acc_q = results[kernel]
+        label = "x".join(str(v) for v in kernel)
+        rows.append(
+            [label, f"{acc_f:.2f}", f"{acc_q:.2f}", f"{acc_q - acc_f:+.2f}",
+             f"{PAPER[kernel][2]:+.2f}"]
+        )
+    table = render_table(
+        "Table 3: IoT classifier accuracy (%), float32 vs fix8",
+        ["kernel", "float32", "fix8", "diff_pp", "paper_diff_pp"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("table3_quantization", table)
+    for kernel in KERNELS:
+        acc_f, acc_q = results[kernel]
+        assert 60.0 < acc_f < 75.0          # the paper's ~67% regime
+        assert abs(acc_q - acc_f) < 1.0     # minimal quantization loss

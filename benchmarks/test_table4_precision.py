@@ -1,0 +1,37 @@
+"""Table 4: per-FU area/power scaling with datapath precision
+(fix8 670 um^2 / 456 uW; fix16 1338/887; fix32 2949/2341 at 16 lanes,
+4 stages)."""
+
+import pytest
+
+from repro.core import render_table, write_result
+from repro.hw import CUGeometry, fu_area_um2, fu_power_uw
+
+PAPER = {"fix8": (670, 456), "fix16": (1338, 887), "fix32": (2949, 2341)}
+
+
+def test_table4(benchmark):
+    def sweep():
+        return {
+            prec: (fu_area_um2(CUGeometry(16, 4, prec)), fu_power_uw(CUGeometry(16, 4, prec)))
+            for prec in PAPER
+        }
+
+    results = benchmark(sweep)
+    rows = [
+        [prec, f"{area:.0f}", f"{PAPER[prec][0]}", f"{power:.0f}", f"{PAPER[prec][1]}"]
+        for prec, (area, power) in results.items()
+    ]
+    table = render_table(
+        "Table 4: per-FU area (um^2) and power (uW) at 16 lanes x 4 stages",
+        ["precision", "area", "paper_area", "power", "paper_power"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("table4_precision", table)
+    for prec, (paper_area, paper_power) in PAPER.items():
+        area, power = results[prec]
+        assert area == pytest.approx(paper_area, rel=0.02)
+        assert power == pytest.approx(paper_power, rel=0.02)
+    # 4x the bits costs ~4.4x the area (multiplier-dominated).
+    assert results["fix32"][0] / results["fix8"][0] == pytest.approx(4.4, rel=0.05)

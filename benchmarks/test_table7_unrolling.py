@@ -1,0 +1,43 @@
+"""Table 7: Conv1D throughput and area scaling with unrolling factor
+(1/8 -> 1 of line rate; 0.19 -> 1.57 mm^2)."""
+
+import pytest
+
+from repro.compiler import unroll_sweep
+from repro.core import render_table, write_result
+from repro.mapreduce import conv1d_graph, inner_product_graph
+
+PAPER = {1: (0.125, 0.19), 2: (0.25, 0.44), 4: (0.5, 0.93), 8: (1.0, 1.57)}
+
+
+def test_table7(benchmark):
+    points = benchmark(lambda: unroll_sweep(lambda u: conv1d_graph(unroll=u)))
+    rows = []
+    for point in points:
+        paper_rate, paper_area = PAPER[point.unroll]
+        rows.append(
+            [f"conv1d x{point.unroll}",
+             f"{point.line_rate_fraction:.3f}", f"({paper_rate})",
+             f"{point.area_mm2:.2f}", f"({paper_area})"]
+        )
+    ip = unroll_sweep(lambda __: inner_product_graph(16), factors=(1,))[0]
+    rows.append(
+        ["inner_product", f"{ip.line_rate_fraction:.3f}", "(1.0)",
+         f"{ip.area_mm2:.2f}", "(0.04)"]
+    )
+    table = render_table(
+        "Table 7: throughput and area vs unroll factor",
+        ["kernel", "line_rate", "paper", "area_mm2", "paper"],
+        rows,
+    )
+    print("\n" + table)
+    write_result("table7_unrolling", table)
+
+    # Exact line-rate fractions and monotone area growth.
+    for point in points:
+        assert point.line_rate_fraction == PAPER[point.unroll][0]
+        assert point.area_mm2 == pytest.approx(PAPER[point.unroll][1], rel=0.25)
+    areas = [p.area_mm2 for p in points]
+    assert areas == sorted(areas)
+    # The inner product has no outer loop: always line rate, tiny area.
+    assert ip.line_rate_fraction == 1.0

@@ -1,0 +1,46 @@
+"""End-to-end anomaly detection: Taurus vs the control-plane baseline.
+
+Reproduces the Table 8 experiment in miniature: a 5 Gbps NSL-KDD-style
+packet workload is scored (a) per-packet on the Taurus data plane and
+(b) by a sampled control-plane pipeline (XDP -> InfluxDB -> Keras-on-Xeon
+-> ONOS rule install), sweeping the telemetry sampling rate.
+
+Run:  python examples/anomaly_detection.py
+"""
+
+from repro.testbed import DEFAULT_SAMPLING_RATES, EndToEndExperiment, format_table8
+
+
+def main() -> None:
+    print("building workload + training the shared model ...")
+    experiment = EndToEndExperiment.build(
+        n_connections=4000, max_packets=100_000, epochs=20, seed=0
+    )
+    workload = experiment.workload
+    print(
+        f"workload: {workload.n_packets} packets, "
+        f"{len(workload.trace.flows)} flows, "
+        f"{workload.trace.duration:.1f} s (dilated), "
+        f"{workload.anomalous_packets} anomalous packets"
+    )
+    print("verifying fabric/vectorized equivalence:",
+          experiment.verify_dataplane())
+
+    print("\nsweeping control-plane sampling rates ...")
+    rows = experiment.run(DEFAULT_SAMPLING_RATES)
+    print(format_table8(rows))
+
+    best = max(rows, key=lambda r: r.baseline.detected_percent)
+    print(
+        f"\nbest baseline point: sampling {best.sampling_rate:.0e} detects "
+        f"{best.baseline.detected_percent:.2f}% of anomalous packets;"
+    )
+    print(
+        f"Taurus detects {best.taurus.detected_percent:.1f}% at every rate "
+        f"({best.detection_advantage:.0f}x more events), adding only "
+        f"{best.taurus.added_latency_ns:.0f} ns per packet."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""ASIC design-space exploration (Section 5.1.1).
+
+Sweeps the CU configuration space (precision x lanes x stages), evaluates
+the anomaly DNN on each point, and reports the area/latency frontier — the
+process that led the paper to the 16-lane, 4-stage, fix8 CU.
+
+Run:  python examples/design_space.py
+"""
+
+import numpy as np
+
+from repro.compiler import compile_graph
+from repro.core import render_table
+from repro.datasets import dnn_feature_matrix, generate_connections
+from repro.fixpoint import quantize_model
+from repro.hw import CUGeometry, cu_area_mm2, fu_area_um2
+from repro.mapreduce import dnn_graph
+from repro.ml import anomaly_detection_dnn
+
+
+def main() -> None:
+    print("training + quantizing the anomaly DNN once ...")
+    dataset = generate_connections(4000, seed=0)
+    model = anomaly_detection_dnn(seed=0)
+    features = dnn_feature_matrix(dataset)
+    model.fit(features, dataset.labels, epochs=15)
+    qmodel = quantize_model(model, features[:256])
+    graph = dnn_graph(qmodel)
+
+    rows = []
+    for precision in ("fix8", "fix16", "fix32"):
+        for lanes in (8, 16, 32):
+            for stages in (2, 4, 6):
+                geom = CUGeometry(lanes, stages, precision)
+                design = compile_graph(graph, geom)
+                rows.append(
+                    [precision, lanes, stages,
+                     f"{fu_area_um2(geom):.0f}",
+                     f"{cu_area_mm2(geom) * 1000:.1f}",
+                     design.n_cu,
+                     f"{design.area_mm2:.2f}",
+                     f"{design.latency_ns:.0f}"]
+                )
+    print(render_table(
+        "Anomaly DNN across the CU design space",
+        ["precision", "lanes", "stages", "um^2/FU", "CU (mum^2 x1e3)",
+         "CUs", "total mm^2", "latency ns"],
+        rows,
+    ))
+
+    # Identify the paper's chosen point and its rationale.
+    chosen = CUGeometry(16, 4, "fix8")
+    design = compile_graph(graph, chosen)
+    print(f"\nchosen configuration (paper): {chosen.lanes} lanes x "
+          f"{chosen.stages} stages, {chosen.precision}")
+    print(f"  -> {design.n_cu} CUs, {design.area_mm2:.2f} mm^2, "
+          f"{design.latency_ns:.0f} ns at line rate")
+    print("16 lanes fully unroll the DNN's widest (12-unit) dot product;")
+    print("4 stages fit inner-product + ReLU without waste; fix8 costs 4x")
+    print("less than fix32 with negligible accuracy loss (Table 3).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,131 @@
+"""Anomaly detection — the paper's running example (Sections 3, 5.2).
+
+Bundles the full application: train the Tang-et-al. DNN (or the SVM
+variant) on NSL-KDD-style connections, quantize it, lower it to the fabric,
+and attach it to a Taurus pipeline whose postprocessing MAT drops or flags
+anomalous packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..datasets import (
+    ConnectionDataset,
+    dnn_feature_matrix,
+    generate_connections,
+    svm_feature_matrix,
+)
+from ..fixpoint import QuantizedModel, quantize_model
+from ..hw.grid import MapReduceBlock
+from ..mapreduce import dnn_graph, svm_graph
+from ..ml import RBFKernelSVM, anomaly_detection_dnn, f1_score, detection_rate
+from ..ml.dnn import DNN
+from ..pisa import DECISION_FLAG, DECISION_FORWARD, TaurusPipeline
+from ..datasets.nslkdd import DNN_FEATURES
+
+__all__ = ["AnomalyDetector", "train_anomaly_dnn", "train_anomaly_svm"]
+
+
+def train_anomaly_dnn(
+    dataset: ConnectionDataset,
+    epochs: int = 25,
+    batch_size: int = 64,
+    lr: float = 0.05,
+    seed: int = 0,
+) -> DNN:
+    """Train the 6-feature, 12/6/3-hidden anomaly DNN."""
+    model = anomaly_detection_dnn(seed=seed)
+    model.fit(
+        dnn_feature_matrix(dataset), dataset.labels,
+        epochs=epochs, batch_size=batch_size, lr=lr,
+    )
+    return model
+
+
+def train_anomaly_svm(
+    dataset: ConnectionDataset,
+    budget: int = 16,
+    epochs: int = 3,
+    gamma: float = 0.5,
+    seed: int = 0,
+) -> RBFKernelSVM:
+    """Train the 8-feature RBF SVM with a hardware-friendly SV budget."""
+    model = RBFKernelSVM(gamma=gamma, budget=budget, epochs=epochs, seed=seed)
+    model.fit(svm_feature_matrix(dataset), dataset.labels)
+    return model
+
+
+@dataclass
+class AnomalyDetector:
+    """The deployed application: model + fabric + pipeline.
+
+    Build with :meth:`from_dataset` for the end-to-end flow, or assemble
+    the pieces manually for custom experiments.
+    """
+
+    dnn: DNN
+    quantized: QuantizedModel
+    block: MapReduceBlock
+    pipeline: TaurusPipeline
+    threshold: float = 0.5
+
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: ConnectionDataset | None = None,
+        n_connections: int = 8000,
+        threshold: float = 0.5,
+        epochs: int = 25,
+        seed: int = 0,
+    ) -> "AnomalyDetector":
+        """Train, quantize, lower, and deploy in one step."""
+        dataset = dataset or generate_connections(n_connections, seed=seed)
+        dnn = train_anomaly_dnn(dataset, epochs=epochs, seed=seed)
+        features = dnn_feature_matrix(dataset)
+        quantized = quantize_model(dnn, features[: min(512, len(features))])
+        block = MapReduceBlock(dnn_graph(quantized, name="anomaly_dnn"))
+        pipeline = TaurusPipeline(
+            block=block,
+            feature_names=DNN_FEATURES,
+            postprocess=lambda value: (
+                DECISION_FLAG if float(np.atleast_1d(value)[0]) >= threshold
+                else DECISION_FORWARD
+            ),
+        )
+        return cls(
+            dnn=dnn, quantized=quantized, block=block,
+            pipeline=pipeline, threshold=threshold,
+        )
+
+    # ------------------------------------------------------------------
+    # Offline scoring
+    # ------------------------------------------------------------------
+    def offline_scores(self, dataset: ConnectionDataset) -> dict[str, float]:
+        """Model-in-isolation F1 and detection rate (float and fix8)."""
+        features = dnn_feature_matrix(dataset)
+        float_pred = self.dnn.predict(features, threshold=self.threshold)
+        quant_pred = (
+            self.quantized(features).reshape(-1) >= self.threshold
+        ).astype(np.int64)
+        return {
+            "f1_float": f1_score(dataset.labels, float_pred),
+            "f1_fix8": f1_score(dataset.labels, quant_pred),
+            "detection_float": detection_rate(dataset.labels, float_pred),
+            "detection_fix8": detection_rate(dataset.labels, quant_pred),
+        }
+
+    # ------------------------------------------------------------------
+    # Weight updates (control plane -> data plane, Section 5.2.3)
+    # ------------------------------------------------------------------
+    def install_weights(self, dnn: DNN, calibration: np.ndarray) -> None:
+        """Re-quantize a newly trained model and swap it into the fabric."""
+        self.dnn = dnn
+        self.quantized = quantize_model(dnn, calibration)
+        self.block.reconfigure(dnn_graph(self.quantized, name="anomaly_dnn"))
+
+    @property
+    def added_latency_ns(self) -> float:
+        return self.block.latency_ns

@@ -1,0 +1,68 @@
+"""Application registry: reaction-time requirements (Table 1).
+
+In-network applications demand reactions at packet, flowlet, flow, or
+microburst timescales; this registry encodes Table 1 and lets callers ask
+whether a given decision latency meets an application's requirement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ReactionTime", "AppRequirement", "APPLICATIONS", "meets_requirement"]
+
+
+class ReactionTime:
+    PACKET = "pkt"
+    FLOWLET = "flowlet"
+    FLOW = "flow"
+    MICROBURST = "uburst"
+
+    ALL = (PACKET, FLOWLET, FLOW, MICROBURST)
+
+    #: Representative decision deadlines (seconds) per timescale.
+    DEADLINES_S = {
+        PACKET: 1e-6,     # sub-microsecond: must decide in the pipeline
+        MICROBURST: 1e-5, # tens of microseconds
+        FLOWLET: 1e-3,    # flowlet gaps are ~ms
+        FLOW: 1e-2,       # flow setup times
+    }
+
+
+@dataclass(frozen=True)
+class AppRequirement:
+    """One Table 1 row."""
+
+    name: str
+    category: str  # "security" | "performance"
+    timescales: tuple[str, ...]
+
+    @property
+    def strictest_deadline_s(self) -> float:
+        return min(ReactionTime.DEADLINES_S[t] for t in self.timescales)
+
+
+APPLICATIONS: tuple[AppRequirement, ...] = (
+    AppRequirement("heavy_hitters", "security", (ReactionTime.FLOW,)),
+    AppRequirement("dos_syn_flood", "security",
+                   (ReactionTime.PACKET, ReactionTime.FLOWLET, ReactionTime.FLOW)),
+    AppRequirement("port_scan_probe", "security", (ReactionTime.FLOW,)),
+    AppRequirement("u2r_detection", "security", (ReactionTime.PACKET,)),
+    AppRequirement("r2l_detection", "security", (ReactionTime.PACKET,)),
+    AppRequirement("congestion_control", "performance",
+                   (ReactionTime.PACKET, ReactionTime.MICROBURST)),
+    AppRequirement("active_queue_mgmt", "performance", (ReactionTime.PACKET,)),
+    AppRequirement("traffic_classification", "performance",
+                   (ReactionTime.FLOWLET, ReactionTime.FLOW)),
+    AppRequirement("load_balancing", "performance",
+                   (ReactionTime.PACKET, ReactionTime.FLOWLET)),
+    AppRequirement("switching_routing", "performance",
+                   (ReactionTime.PACKET, ReactionTime.FLOW)),
+)
+
+
+def meets_requirement(app: AppRequirement, decision_latency_s: float) -> bool:
+    """Can a system with this decision latency serve the application?"""
+    if decision_latency_s < 0:
+        raise ValueError("latency must be non-negative")
+    return decision_latency_s <= app.strictest_deadline_s

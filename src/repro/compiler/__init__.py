@@ -1,0 +1,29 @@
+"""The Taurus MapReduce compiler: allocation, unrolling, timing, P&R."""
+
+from .allocate import (
+    GraphResources,
+    NodeCost,
+    graph_resources,
+    mu_capacity_values,
+    node_cost,
+)
+from .pipeline import CompiledDesign, compile_graph, critical_path_cycles
+from .place_route import GridSpec, Placement, place_and_route
+from .unroll import UnrollPoint, min_unroll_for_rate, unroll_sweep
+
+__all__ = [
+    "GraphResources",
+    "NodeCost",
+    "graph_resources",
+    "mu_capacity_values",
+    "node_cost",
+    "CompiledDesign",
+    "compile_graph",
+    "critical_path_cycles",
+    "GridSpec",
+    "Placement",
+    "place_and_route",
+    "UnrollPoint",
+    "min_unroll_for_rate",
+    "unroll_sweep",
+]

@@ -1,0 +1,79 @@
+"""Target-independent loop unrolling (Section 4, Table 7).
+
+"Parallelizing MapReduce programs unrolls loops in space: if sufficient
+hardware resources are available, a model can execute one iteration per
+cycle.  As loop unrolling happens at compile-time, Taurus can guarantee
+deterministic throughput: either line-rate performance, or some known
+fraction thereof."
+
+This module sweeps unroll factors for loop-shaped kernels and reports the
+throughput/area trade-off of Table 7, plus helpers to pick the smallest
+factor meeting a rate target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..hw.params import CUGeometry, DEFAULT_CU_GEOMETRY
+from ..mapreduce.ir import DataflowGraph
+from .pipeline import CompiledDesign, compile_graph
+
+__all__ = ["UnrollPoint", "unroll_sweep", "min_unroll_for_rate"]
+
+
+@dataclass(frozen=True)
+class UnrollPoint:
+    """One row of an unrolling sweep (Table 7's columns)."""
+
+    unroll: int
+    line_rate_fraction: float
+    area_mm2: float
+    design: CompiledDesign
+
+
+def unroll_sweep(
+    builder: Callable[[int], DataflowGraph],
+    factors: Sequence[int] = (1, 2, 4, 8),
+    geometry: CUGeometry = DEFAULT_CU_GEOMETRY,
+) -> list[UnrollPoint]:
+    """Compile ``builder(factor)`` for each factor.
+
+    ``builder`` maps an unroll factor to a dataflow graph (e.g.
+    :func:`~repro.mapreduce.frontend.conv1d_graph`).
+    """
+    points = []
+    for factor in factors:
+        design = compile_graph(builder(factor), geometry)
+        points.append(
+            UnrollPoint(
+                unroll=factor,
+                line_rate_fraction=design.line_rate_fraction,
+                area_mm2=design.area_mm2,
+                design=design,
+            )
+        )
+    return points
+
+
+def min_unroll_for_rate(
+    builder: Callable[[int], DataflowGraph],
+    target_fraction: float,
+    factors: Sequence[int] = (1, 2, 4, 8),
+    geometry: CUGeometry = DEFAULT_CU_GEOMETRY,
+) -> UnrollPoint:
+    """Smallest unroll factor sustaining ``target_fraction`` of line rate.
+
+    Models the deployment decision the paper describes: static line-rate
+    reduction is acceptable (recirculation / oversubscription), so pick the
+    cheapest design that meets the SLO.
+    """
+    if not 0.0 < target_fraction <= 1.0:
+        raise ValueError("target_fraction must be in (0, 1]")
+    for point in unroll_sweep(builder, factors, geometry):
+        if point.line_rate_fraction >= target_fraction:
+            return point
+    raise ValueError(
+        f"no unroll factor in {list(factors)} reaches {target_fraction:.2f} of line rate"
+    )

@@ -1,0 +1,13 @@
+"""Integration layer: the TaurusSwitch device, configuration, reporting."""
+
+from .config import TaurusConfig
+from .device import TaurusSwitch
+from .report import render_table, series_to_text, write_result
+
+__all__ = [
+    "TaurusConfig",
+    "TaurusSwitch",
+    "render_table",
+    "series_to_text",
+    "write_result",
+]

@@ -1,0 +1,47 @@
+"""Top-level configuration for a Taurus device."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..hw.params import (
+    CUGeometry,
+    DEFAULT_CU_GEOMETRY,
+    GRID_COLS,
+    GRID_CU_TO_MU_RATIO,
+    GRID_ROWS,
+    SwitchChipParams,
+)
+
+__all__ = ["TaurusConfig"]
+
+
+@dataclass(frozen=True)
+class TaurusConfig:
+    """Everything that defines one Taurus switch instance.
+
+    Defaults reproduce the paper's final ASIC: 16x4 fix8 CUs on a 12x10,
+    3:1 grid inside a 500 mm^2, 4-pipeline, 270 W switch.
+    """
+
+    geometry: CUGeometry = DEFAULT_CU_GEOMETRY
+    grid_rows: int = GRID_ROWS
+    grid_cols: int = GRID_COLS
+    cu_to_mu_ratio: int = GRID_CU_TO_MU_RATIO
+    chip: SwitchChipParams = field(default_factory=SwitchChipParams)
+    decision_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.grid_rows <= 0 or self.grid_cols <= 0:
+            raise ValueError("grid dimensions must be positive")
+        if not 0.0 < self.decision_threshold < 1.0:
+            raise ValueError("decision_threshold must be in (0, 1)")
+
+    @property
+    def n_cus(self) -> int:
+        total = self.grid_rows * self.grid_cols
+        return total - total // (self.cu_to_mu_ratio + 1)
+
+    @property
+    def n_mus(self) -> int:
+        return self.grid_rows * self.grid_cols // (self.cu_to_mu_ratio + 1)

@@ -1,0 +1,62 @@
+"""Rendering helpers: paper-style tables written to text files.
+
+Every benchmark regenerates its table/figure as plain rows and records them
+under ``results/`` so paper-vs-measured comparisons are diffable.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+__all__ = ["render_table", "write_result", "series_to_text"]
+
+
+def render_table(
+    title: str,
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+) -> str:
+    """Fixed-width text table."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[i])), *(len(r[i]) for r in str_rows)) if str_rows else len(str(headers[i]))
+        for i in range(len(headers))
+    ]
+    lines = [title, ""]
+    lines.append("  ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}".rstrip("0").rstrip(".")
+    return str(cell)
+
+
+def write_result(name: str, content: str, results_dir: str | None = None) -> str:
+    """Write a table/series under results/; returns the path."""
+    directory = results_dir or os.environ.get("TAURUS_RESULTS_DIR", "results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(content.rstrip() + "\n")
+    return path
+
+
+def series_to_text(name: str, series: dict[str, list[tuple[float, float]]]) -> str:
+    """Render figure series as (x, y) columns per label."""
+    lines = [name, ""]
+    for label, points in series.items():
+        lines.append(f"# series: {label}")
+        for x, y in points:
+            lines.append(f"{x:.6g}\t{y:.6g}")
+        lines.append("")
+    return "\n".join(lines)

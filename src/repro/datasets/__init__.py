@@ -1,0 +1,48 @@
+"""Synthetic dataset substrates (NSL-KDD-like, IoT, congestion traces)."""
+
+from .congestion import (
+    ACTIONS,
+    CongestionTraceConfig,
+    generate_congestion_traces,
+    oracle_action,
+)
+from .iot import (
+    IOT_BINARY_FEATURES,
+    IOT_CLUSTER_FEATURES,
+    iot_binary_dataset,
+    iot_cluster_dataset,
+)
+from .nslkdd import (
+    ATTACK_CLASSES,
+    DNN_FEATURES,
+    FEATURE_NAMES,
+    SVM_FEATURES,
+    ConnectionDataset,
+    dnn_feature_matrix,
+    generate_connections,
+    svm_feature_matrix,
+)
+from .packets import FlowSpec, PacketRecord, PacketTrace, expand_to_packets
+
+__all__ = [
+    "ACTIONS",
+    "CongestionTraceConfig",
+    "generate_congestion_traces",
+    "oracle_action",
+    "IOT_BINARY_FEATURES",
+    "IOT_CLUSTER_FEATURES",
+    "iot_binary_dataset",
+    "iot_cluster_dataset",
+    "ATTACK_CLASSES",
+    "DNN_FEATURES",
+    "FEATURE_NAMES",
+    "SVM_FEATURES",
+    "ConnectionDataset",
+    "dnn_feature_matrix",
+    "generate_connections",
+    "svm_feature_matrix",
+    "FlowSpec",
+    "PacketRecord",
+    "PacketTrace",
+    "expand_to_packets",
+]

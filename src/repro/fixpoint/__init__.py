@@ -1,0 +1,25 @@
+"""Fixed-point arithmetic substrate (Taurus's fix8/fix16/fix32 datapath)."""
+
+from .formats import FIX8, FIX16, FIX32, FORMATS_BY_NAME, FixedPointFormat
+from .quantize import (
+    QuantizedLinear,
+    QuantizedModel,
+    choose_frac_bits,
+    format_for_range,
+    quantize_model,
+)
+from .tensor import FixTensor
+
+__all__ = [
+    "FIX8",
+    "FIX16",
+    "FIX32",
+    "FORMATS_BY_NAME",
+    "FixedPointFormat",
+    "FixTensor",
+    "QuantizedLinear",
+    "QuantizedModel",
+    "choose_frac_bits",
+    "format_for_range",
+    "quantize_model",
+]

@@ -1,0 +1,149 @@
+"""Fixed-point number formats for the Taurus MapReduce fabric.
+
+Taurus executes all datapath arithmetic in reduced-precision fixed point
+(Section 4: "We use fixed-point reduced precision hardware to execute the
+arithmetic needed for the linear algebra in ML algorithms").  The canonical
+configuration is 8-bit ("fix8"); 16- and 32-bit variants exist for the
+precision study in Table 4.
+
+A :class:`FixedPointFormat` is a signed Q-format: ``total_bits`` two's
+complement bits of which ``frac_bits`` sit right of the binary point.  Values
+are stored as integers scaled by ``2**frac_bits`` and saturate at the
+representable range instead of wrapping, matching inference-oriented
+fixed-point hardware (wrap-around would catastrophically corrupt dot
+products; saturation merely clips them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "FixedPointFormat",
+    "FIX8",
+    "FIX16",
+    "FIX32",
+    "FORMATS_BY_NAME",
+]
+
+
+@dataclass(frozen=True)
+class FixedPointFormat:
+    """A signed two's-complement Q-format.
+
+    Parameters
+    ----------
+    total_bits:
+        Width of the stored integer, including the sign bit.
+    frac_bits:
+        Number of fractional bits; the scale factor is ``2**frac_bits``.
+    name:
+        Short label used in reports (e.g. ``"fix8"``).
+    """
+
+    total_bits: int
+    frac_bits: int
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.total_bits not in (8, 16, 32):
+            raise ValueError(f"unsupported width: {self.total_bits}")
+        if not 0 <= self.frac_bits < self.total_bits:
+            raise ValueError(
+                f"frac_bits must be in [0, {self.total_bits}), got {self.frac_bits}"
+            )
+
+    @property
+    def int_bits(self) -> int:
+        """Integer bits, excluding the sign bit."""
+        return self.total_bits - self.frac_bits - 1
+
+    @property
+    def scale(self) -> float:
+        """Multiplier applied to real values before rounding to integers."""
+        return float(1 << self.frac_bits)
+
+    @property
+    def raw_min(self) -> int:
+        """Smallest representable stored integer."""
+        return -(1 << (self.total_bits - 1))
+
+    @property
+    def raw_max(self) -> int:
+        """Largest representable stored integer."""
+        return (1 << (self.total_bits - 1)) - 1
+
+    @property
+    def min_value(self) -> float:
+        """Smallest representable real value."""
+        return self.raw_min / self.scale
+
+    @property
+    def max_value(self) -> float:
+        """Largest representable real value."""
+        return self.raw_max / self.scale
+
+    @property
+    def resolution(self) -> float:
+        """Real-valued gap between adjacent representable numbers."""
+        return 1.0 / self.scale
+
+    @property
+    def storage_dtype(self) -> np.dtype:
+        """Numpy dtype used to store raw integers."""
+        return np.dtype({8: np.int8, 16: np.int16, 32: np.int32}[self.total_bits])
+
+    @property
+    def wide_dtype(self) -> np.dtype:
+        """Numpy dtype wide enough to hold products without overflow."""
+        return np.dtype({8: np.int32, 16: np.int64, 32: np.int64}[self.total_bits])
+
+    def quantize(self, values: np.ndarray | float) -> np.ndarray:
+        """Convert real values to raw integers with round-to-nearest-even.
+
+        Non-finite inputs degrade safely: NaN quantizes to zero, +/-inf
+        saturate to the format limits (hardware has no NaNs to propagate).
+        """
+        values = np.nan_to_num(
+            np.asarray(values, dtype=np.float64),
+            nan=0.0,
+            posinf=self.max_value,
+            neginf=self.min_value,
+        )
+        # Pre-clip so huge finite values cannot overflow the scale multiply.
+        values = np.clip(values, self.min_value, self.max_value)
+        raw = np.rint(values * self.scale)
+        return np.clip(raw, self.raw_min, self.raw_max).astype(self.storage_dtype)
+
+    def dequantize(self, raw: np.ndarray) -> np.ndarray:
+        """Convert raw integers back to float64 real values."""
+        return np.asarray(raw, dtype=np.float64) / self.scale
+
+    def saturate(self, raw: np.ndarray) -> np.ndarray:
+        """Clip wide intermediate integers into the representable range."""
+        return np.clip(raw, self.raw_min, self.raw_max).astype(self.storage_dtype)
+
+    def roundtrip(self, values: np.ndarray | float) -> np.ndarray:
+        """Quantize then dequantize; the fixed-point view of ``values``."""
+        return self.dequantize(self.quantize(values))
+
+    def with_frac_bits(self, frac_bits: int) -> "FixedPointFormat":
+        """Return a copy of this format with a different binary point."""
+        return FixedPointFormat(self.total_bits, frac_bits, self.name)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}(Q{self.int_bits}.{self.frac_bits})"
+
+
+#: Taurus's datapath format: 8-bit, Q3.4 by default (range [-8, 7.9375]).
+FIX8 = FixedPointFormat(total_bits=8, frac_bits=4, name="fix8")
+
+#: 16-bit variant used in the Table 4 precision study (Q7.8).
+FIX16 = FixedPointFormat(total_bits=16, frac_bits=8, name="fix16")
+
+#: 32-bit variant used in the Table 4 precision study (Q15.16).
+FIX32 = FixedPointFormat(total_bits=32, frac_bits=16, name="fix32")
+
+FORMATS_BY_NAME = {fmt.name: fmt for fmt in (FIX8, FIX16, FIX32)}

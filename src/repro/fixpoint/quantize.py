@@ -1,0 +1,241 @@
+"""Post-training quantization for Taurus models.
+
+The paper quantizes trained float32 models to 8-bit fixed point (Table 3,
+"using TensorFlow Lite") and reports negligible accuracy loss.  We implement
+the equivalent machinery from scratch:
+
+* :func:`choose_frac_bits` — pick a per-tensor binary point that covers an
+  observed value range (symmetric, power-of-two scale, as fixed-point
+  hardware requires).
+* :class:`QuantizedLinear` — a Dense layer quantized to a given width with
+  independent weight/bias/activation formats, evaluated with saturating
+  integer arithmetic only.
+* :func:`quantize_model` — walk a trained float DNN, calibrate each layer on
+  a sample of inputs, and emit a fixed-point executable model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .formats import FIX8, FixedPointFormat
+from .tensor import FixTensor
+
+__all__ = [
+    "choose_frac_bits",
+    "format_for_range",
+    "QuantizedLinear",
+    "QuantizedModel",
+    "quantize_model",
+]
+
+
+def choose_frac_bits(values: np.ndarray, total_bits: int) -> int:
+    """Choose the largest binary point that still covers ``values``.
+
+    The scale is constrained to a power of two (a shift in hardware).  We
+    find the smallest number of integer bits that represents
+    ``max(|values|)`` without saturation and give every remaining bit to the
+    fraction, maximizing resolution.
+    """
+    peak = float(np.max(np.abs(values))) if np.asarray(values).size else 0.0
+    if peak == 0.0:
+        return total_bits - 1
+    int_bits = max(0, int(np.ceil(np.log2(peak + 1e-12))))
+    # Guard: 2**int_bits must be >= peak (log2 rounding can undershoot by ulp).
+    while (1 << int_bits) < peak and int_bits < total_bits - 1:
+        int_bits += 1
+    frac_bits = total_bits - 1 - int_bits
+    return max(0, frac_bits)
+
+
+def format_for_range(
+    values: np.ndarray, total_bits: int = 8, name: str | None = None
+) -> FixedPointFormat:
+    """Build a :class:`FixedPointFormat` calibrated to an observed range."""
+    frac = choose_frac_bits(values, total_bits)
+    label = name or f"fix{total_bits}"
+    return FixedPointFormat(total_bits=total_bits, frac_bits=frac, name=label)
+
+
+@dataclass
+class QuantizedLinear:
+    """A Dense layer executed entirely in fixed point.
+
+    ``weights`` is (out, in); the layer computes
+    ``act(clip(W @ x + b))`` using integer multiply-accumulate with a
+    shift-based requantization step, the same structure the Taurus CU
+    executes (map of multiplies, tree reduce, activation map).
+
+    Quantization is per-channel for weights (each output row carries its
+    own binary point, as TFLite does for Dense kernels) and per-tensor for
+    inputs/outputs.  The accumulator row ``i`` holds
+    ``w_frac[i] + in.frac`` fractional bits; a per-row arithmetic shift
+    moves it to the output format — per-lane shift amounts are cheap in the
+    CU's final stage.
+    """
+
+    weights: FixTensor              # nominal per-tensor view (size/format)
+    bias: FixTensor                 # quantized in the *output* format
+    activation: str                 # "relu", "linear", "sigmoid", "tanh"
+    in_fmt: FixedPointFormat
+    act_fmt: FixedPointFormat
+    w_raw: np.ndarray | None = None    # per-channel storage (int rows)
+    w_frac: np.ndarray | None = None   # per-row fractional bits
+
+    def __post_init__(self) -> None:
+        if self.w_raw is None:
+            # Per-tensor fallback: every row shares the nominal format.
+            self.w_raw = self.weights.raw.astype(self.weights.fmt.wide_dtype)
+            self.w_frac = np.full(
+                self.weights.raw.shape[0], self.weights.fmt.frac_bits, dtype=np.int64
+            )
+
+    def linear(self, x: np.ndarray) -> np.ndarray:
+        """The layer's pre-activation output (integer MAC + requantize).
+
+        Inputs are quantized to the input format on entry, mirroring the
+        PHV -> fabric boundary where preprocessing MATs format features as
+        fixed point.  This is exactly what a Taurus ``dot`` node computes,
+        so the dataflow-graph execution can share it bit for bit.
+        """
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        xq = FixTensor.from_float(x, self.in_fmt)
+        wide_t = self.weights.fmt.wide_dtype
+        wide = xq.raw.astype(wide_t) @ self.w_raw.astype(wide_t).T
+        # Requantize each accumulator row to the output binary point.
+        shifts = self.w_frac + self.in_fmt.frac_bits - self.act_fmt.frac_bits
+        wide = _rounding_shift_per_column(wide, shifts)
+        wide = wide + self.bias.raw.astype(wide_t)
+        return self.act_fmt.dequantize(self.act_fmt.saturate(wide))
+
+    def activate(self, pre_activation: np.ndarray) -> np.ndarray:
+        """Apply the layer's activation in fixed point (a ``map`` node)."""
+        return _apply_activation_fixed(pre_activation, self.activation, self.act_fmt)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        """Run the layer on a float input batch; returns float outputs."""
+        return self.activate(self.linear(x))
+
+
+def _rounding_shift_per_column(wide: np.ndarray, shifts: np.ndarray) -> np.ndarray:
+    """Arithmetic shift (round half away from zero) with per-column amounts.
+
+    Positive shift moves right (divide), negative left (multiply) — both
+    are single-cycle barrel-shift operations per lane.
+    """
+    out = np.empty_like(wide)
+    for j, shift in enumerate(np.asarray(shifts, dtype=np.int64)):
+        col = wide[..., j]
+        if shift > 0:
+            offset = 1 << (shift - 1)
+            out[..., j] = np.where(
+                col >= 0, (col + offset) >> shift, -((-col + offset) >> shift)
+            )
+        elif shift < 0:
+            out[..., j] = col << (-shift)
+        else:
+            out[..., j] = col
+    return out
+
+
+def _apply_activation_fixed(
+    x: np.ndarray, activation: str, fmt: FixedPointFormat
+) -> np.ndarray:
+    """Apply an activation and re-quantize the result to ``fmt``."""
+    if activation == "linear":
+        return x
+    if activation == "relu":
+        return np.maximum(x, 0.0)
+    if activation == "leaky_relu":
+        return fmt.roundtrip(np.where(x >= 0, x, 0.125 * x))
+    if activation == "sigmoid":
+        return fmt.roundtrip(1.0 / (1.0 + np.exp(-x)))
+    if activation == "tanh":
+        return fmt.roundtrip(np.tanh(x))
+    if activation == "softmax":
+        e = np.exp(x - x.max(axis=-1, keepdims=True))
+        return fmt.roundtrip(e / e.sum(axis=-1, keepdims=True))
+    raise ValueError(f"unknown activation: {activation}")
+
+
+@dataclass
+class QuantizedModel:
+    """A stack of :class:`QuantizedLinear` layers."""
+
+    layers: list[QuantizedLinear] = field(default_factory=list)
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out = layer(out)
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        """Class prediction by arg-max over the final layer."""
+        return self(x).argmax(axis=-1)
+
+    @property
+    def weight_bytes(self) -> int:
+        """Total model size in bytes (weights + biases at storage width)."""
+        total = 0
+        for layer in self.layers:
+            width = layer.weights.fmt.total_bits // 8
+            total += (layer.weights.size + layer.bias.size) * width
+        return total
+
+
+def quantize_model(dnn, calibration_x: np.ndarray, total_bits: int = 8) -> QuantizedModel:
+    """Post-training quantization of a trained float DNN.
+
+    Parameters
+    ----------
+    dnn:
+        A :class:`repro.ml.dnn.DNN` (anything exposing ``layers`` with
+        ``weights`` (out, in), ``bias`` and ``activation`` attributes, plus
+        ``forward_upto(x, i)`` returning the input to layer ``i``).
+    calibration_x:
+        Representative inputs used to calibrate per-layer activation ranges,
+        as TFLite does with a calibration dataset.
+    total_bits:
+        Storage width (8 for Taurus's fix8 datapath).
+    """
+    calibration_x = np.atleast_2d(np.asarray(calibration_x, dtype=np.float64))
+    layers: list[QuantizedLinear] = []
+    for i, layer in enumerate(dnn.layers):
+        w = np.asarray(layer.weights, dtype=np.float64)
+        b = np.asarray(layer.bias, dtype=np.float64)
+        layer_in = dnn.forward_upto(calibration_x, i)
+        pre_act = layer_in @ w.T + b
+        # Per-channel weight binary points (TFLite-style for Dense kernels)
+        # plus per-tensor input/output calibration; shift-based
+        # requantization bridges them.
+        w_fmt = format_for_range(np.concatenate([w.ravel(), [1e-3]]), total_bits)
+        in_fmt = format_for_range(layer_in, total_bits)
+        out_fmt = format_for_range(
+            np.concatenate([pre_act.ravel(), b.ravel()]), total_bits
+        )
+        w_frac = np.array(
+            [choose_frac_bits(np.append(row, 1e-3), total_bits) for row in w],
+            dtype=np.int64,
+        )
+        w_raw = np.stack(
+            [
+                w_fmt.with_frac_bits(int(frac)).quantize(row).astype(np.int64)
+                for row, frac in zip(w, w_frac)
+            ]
+        )
+        layers.append(
+            QuantizedLinear(
+                weights=FixTensor.from_float(w, w_fmt),
+                bias=FixTensor.from_float(b, out_fmt),
+                activation=layer.activation,
+                in_fmt=in_fmt,
+                act_fmt=out_fmt,
+                w_raw=w_raw,
+                w_frac=w_frac,
+            )
+        )
+    return QuantizedModel(layers)

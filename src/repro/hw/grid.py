@@ -1,0 +1,114 @@
+"""The MapReduce block: a configured grid executing packets.
+
+:class:`MapReduceBlock` is the piece of hardware Fig. 7 shows — the
+checkerboard CU/MU fabric behind a PHV FIFO interface.  It is configured
+once with a compiled dataflow graph (the CGRA analogy of loading a bitstream)
+and then processes one feature vector per packet, returning both the
+numeric result and the cycle-accounted latency.  Throughput honours the
+design's initiation interval: a partially-unrolled or folded program accepts
+a packet only every ``II`` cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..compiler.pipeline import CompiledDesign, compile_graph
+from ..mapreduce.ir import DataflowGraph
+from .params import CLOCK_GHZ, CUGeometry, DEFAULT_CU_GEOMETRY
+
+__all__ = ["MapReduceBlock", "InferenceResult"]
+
+
+@dataclass(frozen=True)
+class InferenceResult:
+    """One packet's trip through the fabric."""
+
+    value: np.ndarray
+    latency_ns: float
+    accepted_at_cycle: int
+
+
+class MapReduceBlock:
+    """A MapReduce block configured with one compiled program.
+
+    Parameters
+    ----------
+    graph:
+        The dataflow program (from a :mod:`repro.mapreduce.frontend`
+        lowering).
+    geometry:
+        CU shape; defaults to the paper's 16x4 fix8 configuration.
+    cu_budget / mu_budget:
+        Grid capacity; defaults to the 12x10, 3:1 block (90 CUs, 30 MUs).
+    """
+
+    def __init__(
+        self,
+        graph: DataflowGraph,
+        geometry: CUGeometry = DEFAULT_CU_GEOMETRY,
+        cu_budget: int = 90,
+        mu_budget: int = 30,
+    ):
+        self.graph = graph
+        self.geometry = geometry
+        self.design: CompiledDesign = compile_graph(
+            graph, geometry, cu_budget=cu_budget, mu_budget=mu_budget
+        )
+        self._next_issue_cycle = 0
+        self.packets_processed = 0
+
+    # ------------------------------------------------------------------
+    # Per-packet execution
+    # ------------------------------------------------------------------
+    def process(self, features: np.ndarray, at_cycle: int | None = None) -> InferenceResult:
+        """Run one packet through the fabric.
+
+        ``at_cycle`` is the arrival cycle; issue honours the initiation
+        interval (arrivals during a busy interval stall in the PHV FIFO).
+        """
+        arrival = self._next_issue_cycle if at_cycle is None else at_cycle
+        issue = max(arrival, self._next_issue_cycle)
+        self._next_issue_cycle = issue + self.design.initiation_interval
+        self.packets_processed += 1
+        value = self.graph.execute(np.asarray(features, dtype=np.float64))
+        stall_ns = (issue - arrival) / CLOCK_GHZ
+        return InferenceResult(
+            value=value,
+            latency_ns=self.design.latency_ns + stall_ns,
+            accepted_at_cycle=issue,
+        )
+
+    def process_batch(self, features: np.ndarray) -> np.ndarray:
+        """Vector-of-packets convenience (results only, no timing)."""
+        return np.asarray(
+            [self.graph.execute(row) for row in np.atleast_2d(features)]
+        )
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (weight updates without a new bitstream)
+    # ------------------------------------------------------------------
+    def reconfigure(self, graph: DataflowGraph) -> None:
+        """Install a new program (or the same program with new weights).
+
+        Weight updates from the control plane re-lower the model and swap
+        the graph atomically between packets — the data plane never stalls
+        (Section 5.2.3 measures the end-to-end update delay separately).
+        """
+        design = compile_graph(
+            graph,
+            self.geometry,
+            cu_budget=90 if self.design.fold_factor else None,
+        )
+        self.graph = graph
+        self.design = design
+
+    @property
+    def latency_ns(self) -> float:
+        return self.design.latency_ns
+
+    @property
+    def throughput_gpkt_s(self) -> float:
+        return self.design.throughput_gpkt_s

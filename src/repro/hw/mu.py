@@ -1,0 +1,106 @@
+"""Functional model of one Memory Unit (banked SRAM).
+
+MUs hold model weights and lookup tables: "We use banked SRAMs as memory
+units (MUs), which are interspersed with CUs in a checkerboard pattern for
+locality ... SRAM-based operations can be done with single-cycle accesses"
+(Section 4).  The model enforces capacity, tracks per-bank accesses, and
+flags same-cycle bank conflicts (which a correct compiler avoids by
+spreading vectors across banks).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fixpoint import FIX8, FixedPointFormat, FixTensor
+from .params import DEFAULT_MU_BANKS, DEFAULT_MU_ENTRIES, MU_ACCESS_CYCLES
+
+__all__ = ["MemoryUnit", "BankConflictError"]
+
+
+class BankConflictError(RuntimeError):
+    """Two same-cycle accesses hit one bank (a compiler bug, not a runtime
+    condition — banking is static)."""
+
+
+@dataclass
+class MemoryUnit:
+    """A ``banks`` x ``entries`` scratchpad of datapath-width words."""
+
+    banks: int = DEFAULT_MU_BANKS
+    entries: int = DEFAULT_MU_ENTRIES
+    fmt: FixedPointFormat = FIX8
+    reads: int = 0
+    writes: int = 0
+    _data: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.banks <= 0 or self.entries <= 0:
+            raise ValueError("banks and entries must be positive")
+        self._data = np.zeros((self.banks, self.entries), dtype=self.fmt.storage_dtype)
+
+    # ------------------------------------------------------------------
+    # Capacity
+    # ------------------------------------------------------------------
+    @property
+    def capacity_values(self) -> int:
+        return self.banks * self.entries
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_values * self.fmt.total_bits // 8
+
+    # ------------------------------------------------------------------
+    # Weight loading (control-plane weight updates, Fig. 1)
+    # ------------------------------------------------------------------
+    def load(self, values: np.ndarray, base: int = 0) -> None:
+        """Install a flat weight array starting at logical address ``base``.
+
+        Values are striped across banks so that a 16-wide vector read hits
+        16 distinct banks (conflict-free SIMD fetch).
+        """
+        flat = self.fmt.quantize(np.asarray(values, dtype=np.float64).ravel())
+        if base < 0 or base + flat.size > self.capacity_values:
+            raise ValueError(
+                f"{flat.size} values at base {base} exceed capacity "
+                f"{self.capacity_values}"
+            )
+        for offset, value in enumerate(flat):
+            addr = base + offset
+            self._data[addr % self.banks, addr // self.banks] = value
+        self.writes += flat.size
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def read_vector(self, base: int, width: int) -> tuple[FixTensor, int]:
+        """Read ``width`` consecutive values; returns (tensor, cycles).
+
+        Consecutive addresses live in distinct banks, so a vector up to
+        ``banks`` wide reads in a single cycle.
+        """
+        if width <= 0:
+            raise ValueError("width must be positive")
+        if base < 0 or base + width > self.capacity_values:
+            raise ValueError("read beyond capacity")
+        addrs = np.arange(base, base + width)
+        bank_ids = addrs % self.banks
+        if len(np.unique(bank_ids)) != len(bank_ids):
+            raise BankConflictError(
+                f"vector read of width {width} at base {base} collides in a bank"
+            )
+        raw = self._data[bank_ids, addrs // self.banks]
+        self.reads += width
+        return FixTensor(raw, self.fmt), MU_ACCESS_CYCLES
+
+    def read_scalar(self, address: int) -> tuple[FixTensor, int]:
+        """Single-value read (LUT lookups)."""
+        tensor, cycles = self.read_vector(address, 1)
+        return tensor, cycles
+
+    def lookup(self, table_base: int, table_size: int, index: int) -> tuple[FixTensor, int]:
+        """LUT access with clamped index (activation tables, Section 5.1.3)."""
+        clamped = int(np.clip(index, 0, table_size - 1))
+        return self.read_scalar(table_base + clamped)

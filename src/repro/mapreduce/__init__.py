@@ -1,0 +1,36 @@
+"""MapReduce abstraction: DSL, dataflow IR, and model frontends."""
+
+from .dsl import MapReduceControlBlock, PatternTrace
+from .frontend import (
+    HW_ACTIVATION_FOR,
+    activation_graph,
+    conv1d_graph,
+    dnn_graph,
+    inner_product_graph,
+    kmeans_graph,
+    lstm_graph,
+    svm_graph,
+)
+from .ir import NODE_KINDS, DataflowGraph, Node
+from .ops import MAP_OPS, REDUCE_OPS, MapOp, ReduceOp, reduce_tree_depth
+
+__all__ = [
+    "MapReduceControlBlock",
+    "PatternTrace",
+    "HW_ACTIVATION_FOR",
+    "activation_graph",
+    "conv1d_graph",
+    "dnn_graph",
+    "inner_product_graph",
+    "kmeans_graph",
+    "lstm_graph",
+    "svm_graph",
+    "NODE_KINDS",
+    "DataflowGraph",
+    "Node",
+    "MAP_OPS",
+    "REDUCE_OPS",
+    "MapOp",
+    "ReduceOp",
+    "reduce_tree_depth",
+]

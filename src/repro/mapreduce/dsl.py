@@ -1,0 +1,116 @@
+"""The MapReduce control-block DSL (the paper's Fig. 4 in Python).
+
+Taurus extends P4 with a ``MapReduce`` control-block type whose body is
+written with ``Map`` and ``Reduce`` constructs (plus arrays and out-of-band
+weight updates).  This module provides the Python analogue: users subclass
+:class:`MapReduceControlBlock` and express their model with
+:meth:`~MapReduceControlBlock.map` / :meth:`~MapReduceControlBlock.reduce`.
+Execution is functional, and every invocation is traced so the compiler can
+count patterns, as the Spatial compiler does before unrolling.
+
+Example (a DNN layer, mirroring Fig. 4)::
+
+    class Layer(MapReduceControlBlock):
+        def build(self, features):
+            w = self.weights["w"]          # (out, in)
+            linear = self.map(range(len(w)), lambda i:
+                self.reduce(self.map(range(w.shape[1]),
+                                     lambda j: w[i, j] * features[j]),
+                            lambda x, y: x + y))
+            return self.map(linear, lambda v: max(v, 0.0))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+
+__all__ = ["MapReduceControlBlock", "PatternTrace"]
+
+
+@dataclass
+class PatternTrace:
+    """Counts of parallel patterns executed by a control block."""
+
+    maps: int = 0
+    reduces: int = 0
+    map_elements: int = 0
+    reduce_elements: int = 0
+
+    def reset(self) -> None:
+        self.maps = 0
+        self.reduces = 0
+        self.map_elements = 0
+        self.reduce_elements = 0
+
+
+class MapReduceControlBlock:
+    """Base class for MapReduce control blocks.
+
+    Subclasses implement :meth:`build`, which receives the packet's feature
+    vector and returns the block's output.  Weights are installed
+    out-of-band via :meth:`load_weights` (the control plane's weight-update
+    path, Fig. 1) and read through :attr:`weights`.
+    """
+
+    def __init__(self, name: str | None = None):
+        self.name = name or type(self).__name__
+        self.weights: dict[str, np.ndarray] = {}
+        self.trace = PatternTrace()
+
+    # ------------------------------------------------------------------
+    # Out-of-band weight updates
+    # ------------------------------------------------------------------
+    def load_weights(self, **arrays: np.ndarray) -> None:
+        """Install named weight arrays (e.g. from a trained model)."""
+        for key, value in arrays.items():
+            self.weights[key] = np.asarray(value, dtype=np.float64)
+
+    # ------------------------------------------------------------------
+    # Parallel patterns
+    # ------------------------------------------------------------------
+    def map(self, domain: Iterable | int, body: Callable) -> np.ndarray:
+        """Element-wise map: apply ``body`` to each element of ``domain``.
+
+        ``domain`` may be an int (``Map(n) { i => ... }``), a range, or an
+        array whose elements are passed to ``body``.
+        """
+        if isinstance(domain, (int, np.integer)):
+            items: Sequence = range(int(domain))
+        else:
+            items = list(domain)
+        out = np.asarray([body(item) for item in items], dtype=np.float64)
+        self.trace.maps += 1
+        self.trace.map_elements += len(items)
+        return out
+
+    def reduce(self, vector: Iterable, body: Callable[[float, float], float]) -> float:
+        """Tree reduction with an associative binary ``body``."""
+        values = [float(v) for v in vector]
+        if not values:
+            raise ValueError("cannot reduce an empty vector")
+        self.trace.reduces += 1
+        self.trace.reduce_elements += len(values)
+        # Tree order (matches the CU's reduction network, not a left fold).
+        while len(values) > 1:
+            paired = []
+            for i in range(0, len(values) - 1, 2):
+                paired.append(body(values[i], values[i + 1]))
+            if len(values) % 2:
+                paired.append(values[-1])
+            values = paired
+        return values[0]
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def build(self, features: np.ndarray):  # pragma: no cover - abstract
+        """Subclass hook: express the computation with map/reduce."""
+        raise NotImplementedError
+
+    def __call__(self, features: np.ndarray):
+        """Run the block on one packet's features (trace is refreshed)."""
+        self.trace.reset()
+        return self.build(np.asarray(features, dtype=np.float64))

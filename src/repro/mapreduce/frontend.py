@@ -1,0 +1,472 @@
+"""Model frontends: lower trained ML models to dataflow graphs.
+
+Each function builds the :class:`~repro.mapreduce.ir.DataflowGraph` a
+Spatial-style compiler would produce for the paper's benchmarks
+(Section 5.1.2-5.1.3): innermost loops become SIMD operations within CUs,
+outer loops map over parallel CUs, and recurrences become temporal
+iterations over the same hardware.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..fixpoint import FIX8, FixedPointFormat, QuantizedModel
+from ..ml.activations import ACTIVATIONS
+from .ir import DataflowGraph
+
+__all__ = [
+    "HW_ACTIVATION_FOR",
+    "dnn_graph",
+    "svm_graph",
+    "kmeans_graph",
+    "lstm_graph",
+    "inner_product_graph",
+    "activation_graph",
+    "conv1d_graph",
+]
+
+#: Which line-rate implementation serves each model-level activation.
+#: ReLUs map exactly; smooth activations use the piecewise variants, the
+#: cheapest implementation with acceptable error (Table 6 discussion).
+HW_ACTIVATION_FOR = {
+    "relu": "relu",
+    "leaky_relu": "leaky_relu",
+    "sigmoid": "sigmoid_pw",
+    "tanh": "tanh_pw",
+}
+
+
+def _hw_activation_fn(model_act: str, fmt: FixedPointFormat):
+    """Fixed-point hardware activation: approximate fn + output roundtrip."""
+    spec = ACTIVATIONS[HW_ACTIVATION_FOR[model_act]]
+
+    def apply(z: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(spec.fn(z))
+
+    return apply, spec
+
+
+# ----------------------------------------------------------------------
+# DNN (the anomaly-detection running example and the IoT classifiers)
+# ----------------------------------------------------------------------
+def dnn_graph(
+    qmodel: QuantizedModel, name: str = "dnn", exact_activations: bool = False
+) -> DataflowGraph:
+    """Lower a quantized DNN to a dataflow graph.
+
+    With ``exact_activations=True`` the graph's map nodes reuse the
+    quantized model's exact activations, making graph execution bit-exact
+    with :class:`~repro.fixpoint.quantize.QuantizedModel` — the equivalence
+    the integration tests check.  The default uses the line-rate hardware
+    approximations (piecewise sigmoid/tanh).
+
+    Softmax heads are lowered to an argmax reduce: the switch only needs the
+    class decision, and argmax over logits equals argmax over softmax.
+    """
+    graph = DataflowGraph(name=name)
+    cursor = graph.add("input", name="features", width=qmodel.layers[0].weights.shape[1])
+    for i, layer in enumerate(qmodel.layers):
+        out_units, in_units = layer.weights.shape
+        bank = graph.add(
+            "const",
+            name=f"w{i}",
+            weight_values=layer.weights.size + layer.bias.size,
+        )
+        dot = graph.add(
+            "dot",
+            preds=[cursor, bank],
+            name=f"dot{i}",
+            parallel=out_units,
+            width=in_units,
+            chain_ops=1,
+            reduce_op="sum",
+            fn=_single(layer.linear),
+        )
+        cursor = dot
+        if out_units > 1:
+            cursor = graph.add(
+                "gather", preds=[cursor], name=f"gather{i}", width=out_units
+            )
+        if layer.activation == "linear":
+            continue
+        if exact_activations or layer.activation == "relu":
+            act_fn = _single(layer.activate)
+            spec = ACTIVATIONS[HW_ACTIVATION_FOR.get(layer.activation, "relu")]
+        else:
+            act_fn, spec = _hw_activation_fn(layer.activation, layer.act_fmt)
+        cursor = graph.add(
+            "map",
+            preds=[cursor],
+            name=f"{spec.name}{i}",
+            width=out_units,
+            chain_ops=spec.chain_ops,
+            fn=act_fn,
+            weight_values=spec.lut_tables * 1024,
+        )
+    graph.add("output", preds=[cursor], name="score", width=cursor.width)
+    return graph
+
+
+def _single(batch_fn):
+    """Adapt a batch (n, d) function to single-vector graph semantics."""
+
+    def apply(x: np.ndarray) -> np.ndarray:
+        return np.asarray(batch_fn(np.atleast_2d(x)))[0]
+
+    return apply
+
+
+# ----------------------------------------------------------------------
+# RBF-kernel SVM (anomaly detection)
+# ----------------------------------------------------------------------
+def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowGraph:
+    """Lower a trained :class:`~repro.ml.svm.RBFKernelSVM`.
+
+    Structure: per-SV squared distance (map sub/square + tree reduce),
+    scale by -gamma, exponential via an MU lookup table, weighted sum over
+    SV coefficients, and a bias add.  All values are roundtripped through
+    the datapath format.
+    """
+    if svm.support_vectors is None:
+        raise ValueError("SVM must be fitted before lowering")
+    from ..fixpoint import format_for_range
+
+    in_fmt = format_for_range(svm.support_vectors, fmt.total_bits)
+    sv = in_fmt.roundtrip(svm.support_vectors)
+    alphas = fmt.roundtrip(svm.alphas)
+    gamma = svm.gamma
+    bias = svm.bias
+    n_sv, dim = sv.shape
+    # Squared distances live in the CU's wide accumulator (16-bit view).
+    acc_fmt = format_for_range(np.array([(2 * np.abs(sv).max()) ** 2 * dim]), 16)
+
+    graph = DataflowGraph(name=name)
+    features = graph.add("input", name="features", width=dim)
+    bank = graph.add("const", name="sv_bank", weight_values=sv.size + alphas.size)
+    dist = graph.add(
+        "mapreduce",
+        preds=[features, bank],
+        name="sq_dist",
+        parallel=n_sv,
+        width=dim,
+        chain_ops=2,  # subtract, square
+        reduce_op="sum",
+        fn=lambda x: acc_fmt.roundtrip(
+            np.sum((in_fmt.roundtrip(np.clip(x, in_fmt.min_value, in_fmt.max_value))[None, :] - sv) ** 2, axis=1)
+        ),
+    )
+    gathered = graph.add("gather", preds=[dist], name="gather_dist", width=n_sv)
+    scaled = graph.add(
+        "map",
+        preds=[gathered],
+        name="scale_gamma",
+        width=n_sv,
+        chain_ops=1,
+        fn=lambda d: np.clip(-gamma * d, -8.0, 0.0),
+    )
+    kernel = graph.add(
+        "lut",
+        preds=[scaled],
+        name="exp_lut",
+        width=n_sv,
+        weight_values=1024,
+        fn=lambda z: fmt.roundtrip(np.exp(z)),
+    )
+    score = graph.add(
+        "dot",
+        preds=[kernel],
+        name="weighted_sum",
+        parallel=1,
+        width=n_sv,
+        chain_ops=1,
+        reduce_op="sum",
+        fn=lambda k: fmt.roundtrip(np.atleast_1d(k @ alphas)),
+    )
+    decision = graph.add(
+        "map",
+        preds=[score],
+        name="bias_threshold",
+        width=1,
+        chain_ops=2,  # add bias, compare
+        fn=lambda s: np.atleast_1d(s + bias),
+    )
+    graph.add("output", preds=[decision], name="score", width=1)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# KMeans (IoT traffic classification)
+# ----------------------------------------------------------------------
+def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> DataflowGraph:
+    """Lower a fitted :class:`~repro.ml.kmeans.KMeans` to nearest-centroid.
+
+    Inputs and centroids are quantized in a format calibrated to the
+    centroid range; squared distances stay in the CU's wide accumulator
+    (16-bit view) so the arg-min reduce sees unsaturated values.
+    """
+    if kmeans.centroids is None:
+        raise ValueError("KMeans must be fitted before lowering")
+    from ..fixpoint import format_for_range
+
+    in_fmt = format_for_range(kmeans.centroids, fmt.total_bits)
+    centroids = in_fmt.roundtrip(kmeans.centroids)
+    k, dim = centroids.shape
+    max_dist = float(((2 * np.abs(centroids).max()) ** 2) * dim)
+    acc_fmt = format_for_range(np.array([max_dist]), 16)
+
+    graph = DataflowGraph(name=name)
+    features = graph.add("input", name="features", width=dim)
+    bank = graph.add("const", name="centroids", weight_values=centroids.size)
+    dist = graph.add(
+        "mapreduce",
+        preds=[features, bank],
+        name="sq_dist",
+        parallel=k,
+        width=dim,
+        chain_ops=2,
+        reduce_op="sum",
+        fn=lambda x: acc_fmt.roundtrip(
+            np.sum((in_fmt.roundtrip(np.clip(x, in_fmt.min_value, in_fmt.max_value))[None, :] - centroids) ** 2, axis=1)
+        ),
+    )
+    gathered = graph.add("gather", preds=[dist], name="gather_dist", width=k)
+    nearest = graph.add(
+        "reduce",
+        preds=[gathered],
+        name="argmin",
+        width=k,
+        reduce_op="argmin",
+        fn=lambda d: np.atleast_1d(np.argmin(d)),
+    )
+    graph.add("output", preds=[nearest], name="cluster", width=1)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# LSTM (Indigo congestion control)
+# ----------------------------------------------------------------------
+def lstm_graph(
+    lstm,
+    window_steps: int = 8,
+    fmt: FixedPointFormat = FIX8,
+    name: str = "lstm",
+) -> DataflowGraph:
+    """Lower a trained :class:`~repro.ml.lstm.LSTM`.
+
+    The recurrence forces sequential execution: the step subgraph runs once
+    per history element (``temporal_iterations``), reusing the same CUs with
+    hidden state parked in MUs — this is why the paper's Indigo latency
+    (805 ns) is ~10x a feed-forward model's.  The packet's feature payload
+    is the flattened (T, D) observation window.
+    """
+    hidden = lstm.hidden_size
+    dim = lstm.input_size
+    w_gates = fmt.roundtrip(np.clip(lstm.w_gates, fmt.min_value, fmt.max_value))
+    b_gates = fmt.roundtrip(np.clip(lstm.b_gates, fmt.min_value, fmt.max_value))
+    w_out = fmt.roundtrip(np.clip(lstm.w_out, fmt.min_value, fmt.max_value))
+    b_out = fmt.roundtrip(np.clip(lstm.b_out, fmt.min_value, fmt.max_value))
+
+    from ..ml.activations import sigmoid_piecewise, tanh_piecewise
+
+    graph = DataflowGraph(name=name, temporal_iterations=window_steps)
+    window = graph.add("input", name="window", width=window_steps * dim)
+
+    def select_step(flat: np.ndarray, state: dict) -> np.ndarray:
+        t = state.get("iteration", 0)
+        return flat.reshape(window_steps, dim)[t]
+
+    select_step.wants_state = True
+    x_t = graph.add(
+        "map", preds=[window], name="select_step", width=dim, chain_ops=1, fn=select_step
+    )
+
+    def read_hidden(x: np.ndarray, state: dict) -> np.ndarray:
+        return state.get("h", np.zeros(hidden))
+
+    read_hidden.wants_state = True
+    h_prev = graph.add(
+        "map", preds=[window], name="read_h", width=hidden, chain_ops=1, fn=read_hidden
+    )
+    concat = graph.add(
+        "gather", preds=[x_t, h_prev], name="concat", width=dim + hidden
+    )
+    bank = graph.add(
+        "const", name="w_gates", weight_values=w_gates.size + b_gates.size
+    )
+    gates = graph.add(
+        "dot",
+        preds=[concat, bank],
+        name="gate_matvec",
+        parallel=4 * hidden,
+        width=dim + hidden,
+        chain_ops=1,
+        reduce_op="sum",
+        fn=lambda z: fmt.roundtrip(w_gates @ fmt.roundtrip(z) + b_gates),
+    )
+    def cell_update(gate_pre: np.ndarray, state: dict) -> np.ndarray:
+        i = fmt.roundtrip(sigmoid_piecewise(gate_pre[0 * hidden : 1 * hidden]))
+        f = fmt.roundtrip(sigmoid_piecewise(gate_pre[1 * hidden : 2 * hidden]))
+        g = fmt.roundtrip(tanh_piecewise(gate_pre[2 * hidden : 3 * hidden]))
+        o = fmt.roundtrip(sigmoid_piecewise(gate_pre[3 * hidden : 4 * hidden]))
+        c = fmt.roundtrip(f * state.get("c", np.zeros(hidden)) + i * g)
+        h = fmt.roundtrip(o * tanh_piecewise(c))
+        state["c"] = c
+        state["h"] = h
+        return h
+
+    cell_update.wants_state = True
+    # Gate nonlinearities run element-wise in the lanes right after the
+    # matvec (no global gather is needed): 3 piecewise sigmoids + 1
+    # piecewise tanh over 4H values in parallel, then the cell/hidden
+    # updates (2 muls + add; tanh; mul) fused into the tail of the chain.
+    sig_spec = ACTIVATIONS["sigmoid_pw"]
+    updated_h = graph.add(
+        "map",
+        preds=[gates],
+        name="cell_update",
+        width=4 * hidden,
+        chain_ops=sig_spec.chain_ops + 6,
+        fn=cell_update,
+    )
+    # The action head runs once, after the final history element.
+    head_bank = graph.add("const", name="w_out", weight_values=w_out.size + b_out.size)
+    head = graph.add(
+        "dot",
+        preds=[updated_h, head_bank],
+        name="action_head",
+        parallel=lstm.n_actions,
+        width=hidden,
+        chain_ops=1,
+        reduce_op="sum",
+        fn=lambda h: fmt.roundtrip(w_out @ h + b_out),
+        epilogue=True,
+    )
+    head_vec = graph.add(
+        "gather", preds=[head], name="gather_head", width=lstm.n_actions, epilogue=True
+    )
+    action = graph.add(
+        "reduce",
+        preds=[head_vec],
+        name="argmax",
+        width=lstm.n_actions,
+        reduce_op="argmax",
+        fn=lambda logits: np.atleast_1d(np.argmax(logits)),
+        epilogue=True,
+    )
+    graph.add("output", preds=[action], name="action", width=1, epilogue=True)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Microbenchmarks (Table 6 / Table 7)
+# ----------------------------------------------------------------------
+def inner_product_graph(width: int = 16, fmt: FixedPointFormat = FIX8) -> DataflowGraph:
+    """A 16-element inner product — the perceptron core (Table 6)."""
+    rng = np.random.default_rng(width)
+    weights = fmt.roundtrip(rng.uniform(-1, 1, size=width))
+    graph = DataflowGraph(name=f"inner_product_{width}")
+    features = graph.add("input", name="x", width=width)
+    bank = graph.add("const", name="w", weight_values=width)
+    dot = graph.add(
+        "dot",
+        preds=[features, bank],
+        name="dot",
+        parallel=1,
+        width=width,
+        chain_ops=1,
+        reduce_op="sum",
+        fn=lambda x: fmt.roundtrip(np.atleast_1d(fmt.roundtrip(x) @ weights)),
+    )
+    graph.add("output", preds=[dot], name="y", width=1)
+    return graph
+
+
+def activation_graph(
+    spec_name: str, width: int = 16, fmt: FixedPointFormat = FIX8
+) -> DataflowGraph:
+    """A standalone line-rate activation (Table 6 / Fig. 10)."""
+    spec = ACTIVATIONS[spec_name]
+    graph = DataflowGraph(name=spec_name)
+    features = graph.add("input", name="x", width=width)
+    cursor = features
+    if spec.lut_tables:
+        # Address computation, MU table read, rescale.
+        addr = graph.add(
+            "map", preds=[cursor], name="lut_addr", width=width, chain_ops=3,
+            fn=lambda x: np.clip(x, -8.0, 8.0),
+        )
+        table = graph.add(
+            "lut", preds=[addr], name="table", width=width, weight_values=1024,
+            fn=lambda x: fmt.roundtrip(spec.fn(x)),
+        )
+        cursor = graph.add(
+            "map", preds=[table], name="rescale", width=width, chain_ops=3,
+            fn=lambda y: y,
+        )
+    else:
+        cursor = graph.add(
+            "map",
+            preds=[cursor],
+            name=spec.name,
+            width=width,
+            chain_ops=spec.chain_ops,
+            fn=lambda x: fmt.roundtrip(spec.fn(x)),
+        )
+    graph.add("output", preds=[cursor], name="y", width=width)
+    return graph
+
+
+def conv1d_graph(
+    n_outputs: int = 8,
+    kernel: int = 2,
+    unroll: int = 8,
+    fmt: FixedPointFormat = FIX8,
+) -> DataflowGraph:
+    """A 1-D convolution, unrolled ``unroll``-way (Tables 6-7).
+
+    Convolution "does not map well to vectorized MapReduce (there are
+    multiple small inner reductions)": each output needs window extraction
+    (lane shifts), a tiny ``kernel``-wide dot, and an accumulate/realign
+    step.  ``unroll`` output slices execute in space; the remaining
+    ``n_outputs / unroll`` iterations share them in time, dividing line
+    rate accordingly.
+    """
+    if n_outputs % unroll:
+        raise ValueError("unroll must divide n_outputs")
+    rng = np.random.default_rng(kernel)
+    taps = fmt.roundtrip(rng.uniform(-1, 1, size=kernel))
+    width_in = n_outputs + kernel - 1
+
+    graph = DataflowGraph(name=f"conv1d_u{unroll}")
+    graph.initiation_interval = n_outputs // unroll
+    features = graph.add("input", name="x", width=width_in)
+    bank = graph.add("const", name="taps", weight_values=kernel)
+    slices = []
+    for s in range(unroll):
+        window = graph.add(
+            "map", preds=[features], name=f"window{s}", width=kernel, chain_ops=2,
+            fn=(lambda s_: lambda x: x[s_ : s_ + kernel])(s),
+        )
+        align = graph.add(
+            "map", preds=[window], name=f"align{s}", width=kernel, chain_ops=2,
+            fn=lambda w: w,
+        )
+        dot = graph.add(
+            "mapreduce",
+            preds=[align, bank],
+            name=f"tap_dot{s}",
+            parallel=1,
+            width=kernel,
+            chain_ops=1,
+            reduce_op="sum",
+            fn=lambda w: fmt.roundtrip(np.atleast_1d(w @ taps)),
+        )
+        accum = graph.add(
+            "map", preds=[dot], name=f"accum{s}", width=1, chain_ops=1,
+            fn=lambda v: v,
+        )
+        slices.append(accum)
+    gathered = graph.add("gather", preds=slices, name="gather_out", width=unroll)
+    graph.add("output", preds=[gathered], name="y", width=unroll)
+    return graph

@@ -1,0 +1,209 @@
+"""Streaming-dataflow IR for MapReduce programs.
+
+Section 4: "Programs are compiled to a streaming dataflow graph: from this
+hierarchy, innermost loops become SIMD operations within a CU, and outer
+loops are mapped over multiple CUs."  A :class:`DataflowGraph` is that
+intermediate form: a DAG of typed nodes, each of which lowers to one or more
+CUs/MUs.  The graph is *executable* (the functional CGRA simulation runs
+it node by node) and *analyzable* (the compiler derives area, latency, and
+throughput from its structure).
+
+Node kinds
+----------
+``input``      packet features arriving from the PHV
+``const``      a weight bank resident in MUs
+``dot``        matrix-vector multiply + bias (map of multiplies + tree
+               reduce) — the perceptron primitive of Fig. 3
+``mapreduce``  an op-chain map followed by a tree reduce per instance
+               (e.g. squared distances)
+``map``        an element-wise op chain (activations, scaling, updates)
+``gather``     merge scalars from parallel CUs into one dense vector
+``reduce``     a vector-to-scalar reduction (sum/max/argmax/...)
+``lut``        an MU-resident lookup table
+``output``     result written back into the PHV
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+import numpy as np
+
+__all__ = ["Node", "DataflowGraph", "NODE_KINDS"]
+
+NODE_KINDS = (
+    "input",
+    "const",
+    "dot",
+    "mapreduce",
+    "map",
+    "gather",
+    "reduce",
+    "lut",
+    "output",
+)
+
+
+@dataclass
+class Node:
+    """One dataflow node.
+
+    Attributes
+    ----------
+    parallel:
+        Independent instances mapped side by side (the outer-map factor;
+        e.g. one instance per neuron in a Dense layer).
+    width:
+        Vector width consumed by each instance (the inner SIMD factor).
+    chain_ops:
+        Length of the dependent element-wise op chain (``map``/``mapreduce``
+        nodes); determines how many CU stage slots the chain needs.
+    reduce_op:
+        Reduction operator name for ``dot``/``mapreduce``/``reduce`` nodes.
+    fn:
+        Functional semantics: called with the (already gathered) input
+        float array, returns the node's output array.
+    weight_values:
+        Number of constant values this node keeps in MUs (``const``/``lut``).
+    """
+
+    node_id: int
+    kind: str
+    name: str = ""
+    preds: list[int] = field(default_factory=list)
+    parallel: int = 1
+    width: int = 1
+    chain_ops: int = 0
+    reduce_op: str | None = None
+    fn: Callable[..., np.ndarray] | None = None
+    weight_values: int = 0
+    payload: Any = None
+    #: Epilogue nodes run once after the last temporal iteration (e.g. the
+    #: LSTM's action head) rather than inside the recurrent step.
+    epilogue: bool = False
+
+    def __post_init__(self) -> None:
+        if self.kind not in NODE_KINDS:
+            raise ValueError(f"unknown node kind {self.kind!r}")
+        if self.parallel <= 0 or self.width <= 0:
+            raise ValueError("parallel and width must be positive")
+
+
+@dataclass
+class DataflowGraph:
+    """A DAG of :class:`Node` objects plus temporal metadata.
+
+    ``temporal_iterations`` models recurrences (the LSTM executes its step
+    subgraph once per history element, reusing the same hardware), and
+    ``initiation_interval`` is the packet-issue interval in cycles (1 =
+    line rate; the compiler raises it when a kernel is only partially
+    unrolled, Table 7).
+    """
+
+    name: str
+    nodes: dict[int, Node] = field(default_factory=dict)
+    temporal_iterations: int = 1
+    initiation_interval: int = 1
+    _next_id: int = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(self, kind: str, preds: list[Node] | None = None, **kwargs) -> Node:
+        """Append a node; ``preds`` are upstream nodes."""
+        node = Node(
+            node_id=self._next_id,
+            kind=kind,
+            preds=[p.node_id for p in (preds or [])],
+            **kwargs,
+        )
+        self.nodes[node.node_id] = node
+        self._next_id += 1
+        return node
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def topo_order(self) -> list[Node]:
+        """Nodes in dependency order (raises on cycles)."""
+        indegree = {nid: 0 for nid in self.nodes}
+        succs: dict[int, list[int]] = {nid: [] for nid in self.nodes}
+        for node in self.nodes.values():
+            for pred in node.preds:
+                indegree[node.node_id] += 1
+                succs[pred].append(node.node_id)
+        ready = [nid for nid, deg in indegree.items() if deg == 0]
+        order: list[Node] = []
+        while ready:
+            nid = ready.pop()
+            order.append(self.nodes[nid])
+            for succ in succs[nid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    ready.append(succ)
+        if len(order) != len(self.nodes):
+            raise ValueError("dataflow graph contains a cycle")
+        return order
+
+    def inputs(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.kind == "input"]
+
+    def outputs(self) -> list[Node]:
+        return [n for n in self.nodes.values() if n.kind == "output"]
+
+    # ------------------------------------------------------------------
+    # Functional execution (one packet / one feature vector)
+    # ------------------------------------------------------------------
+    def execute(self, features: np.ndarray, state: dict | None = None) -> np.ndarray:
+        """Run the graph functionally on one feature vector.
+
+        ``state`` carries values across :attr:`temporal_iterations` for
+        recurrent graphs; node ``fn`` callables may read/write it via their
+        second argument when they declare one (the LSTM step does).
+        """
+        features = np.asarray(features, dtype=np.float64)
+        state = state if state is not None else {}
+        values: dict[int, np.ndarray] = {}
+        result: np.ndarray | None = None
+        order = self.topo_order()
+        for iteration in range(self.temporal_iterations):
+            state["iteration"] = iteration
+            for node in order:
+                if node.kind == "input":
+                    values[node.node_id] = features
+                    continue
+                if node.kind == "const":
+                    values[node.node_id] = np.empty(0)
+                    continue
+                args = [
+                    values[p]
+                    for p in node.preds
+                    if self.nodes[p].kind != "const"
+                ]
+                if node.kind == "gather":
+                    merged = np.concatenate([np.atleast_1d(a) for a in args])
+                    values[node.node_id] = merged
+                    continue
+                if node.kind == "output":
+                    out = args[0] if args else np.empty(0)
+                    values[node.node_id] = out
+                    result = out
+                    continue
+                if node.fn is None:
+                    raise ValueError(f"node {node.name!r} has no semantics")
+                values[node.node_id] = node.fn(*args, **_state_kwarg(node, state))
+        if result is None:
+            raise ValueError("graph has no output node")
+        return result
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def _state_kwarg(node: Node, state: dict) -> dict:
+    """Pass mutable state only to nodes that want it."""
+    fn = node.fn
+    if fn is not None and getattr(fn, "wants_state", False):
+        return {"state": state}
+    return {}

@@ -1,0 +1,78 @@
+"""From-scratch numpy ML library (DNN, SVM, KMeans, LSTM + training)."""
+
+from .activations import (
+    ACTIVATIONS,
+    ActivationSpec,
+    activation,
+    build_lut,
+    leaky_relu,
+    lut_activation,
+    relu,
+    sigmoid,
+    sigmoid_piecewise,
+    sigmoid_taylor,
+    softmax,
+    tanh,
+    tanh_piecewise,
+    tanh_taylor,
+)
+from .dnn import DNN, anomaly_detection_dnn, iot_classifier_dnn
+from .kmeans import KMeans
+from .layers import Dense
+from .lstm import LSTM, indigo_lstm
+from .metrics import (
+    accuracy,
+    confusion_matrix,
+    detection_rate,
+    f1_score,
+    macro_f1,
+    precision_recall,
+)
+from .svm import RBFKernelSVM
+from .training import (
+    SGD,
+    Adam,
+    TrainLog,
+    binary_cross_entropy,
+    iterate_minibatches,
+    mse_loss,
+    softmax_cross_entropy,
+)
+
+__all__ = [
+    "ACTIVATIONS",
+    "ActivationSpec",
+    "activation",
+    "build_lut",
+    "leaky_relu",
+    "lut_activation",
+    "relu",
+    "sigmoid",
+    "sigmoid_piecewise",
+    "sigmoid_taylor",
+    "softmax",
+    "tanh",
+    "tanh_piecewise",
+    "tanh_taylor",
+    "DNN",
+    "anomaly_detection_dnn",
+    "iot_classifier_dnn",
+    "KMeans",
+    "Dense",
+    "LSTM",
+    "indigo_lstm",
+    "accuracy",
+    "confusion_matrix",
+    "detection_rate",
+    "f1_score",
+    "macro_f1",
+    "precision_recall",
+    "RBFKernelSVM",
+    "SGD",
+    "Adam",
+    "TrainLog",
+    "binary_cross_entropy",
+    "iterate_minibatches",
+    "mse_loss",
+    "softmax_cross_entropy",
+]

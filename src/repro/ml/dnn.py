@@ -1,0 +1,198 @@
+"""Deep neural networks: the paper's primary per-packet model.
+
+The running example is the Tang et al. anomaly-detection DNN — six KDD
+features in, hidden layers of 12, 6, and 3 ReLU units, and a sigmoid output
+(Section 5.1.2).  Table 3's IoT classifiers are small softmax DNNs
+(e.g. 4x10x2).  Both are instances of :class:`DNN`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .activations import softmax
+from .layers import Dense
+from .training import (
+    SGD,
+    TrainLog,
+    binary_cross_entropy,
+    iterate_minibatches,
+    softmax_cross_entropy,
+)
+
+__all__ = ["DNN", "anomaly_detection_dnn", "iot_classifier_dnn"]
+
+
+class DNN:
+    """A multilayer perceptron with manual backprop training.
+
+    Parameters
+    ----------
+    layer_sizes:
+        Unit counts including input and output, e.g. ``[6, 12, 6, 3, 1]``.
+    output:
+        ``"sigmoid"`` for binary heads, ``"softmax"`` for multiclass.
+    hidden_activation:
+        Activation for all hidden layers (default ``"relu"``).
+    seed:
+        Seed for weight initialization and batching.
+    """
+
+    def __init__(
+        self,
+        layer_sizes: list[int],
+        output: str = "softmax",
+        hidden_activation: str = "relu",
+        seed: int = 0,
+    ):
+        if len(layer_sizes) < 2:
+            raise ValueError("need at least input and output sizes")
+        if output not in ("sigmoid", "softmax", "linear"):
+            raise ValueError(f"unsupported output head: {output!r}")
+        if output == "sigmoid" and layer_sizes[-1] != 1:
+            raise ValueError("sigmoid head requires a single output unit")
+        self.layer_sizes = list(layer_sizes)
+        self.output = output
+        self.rng = np.random.default_rng(seed)
+        self.layers: list[Dense] = []
+        for i in range(len(layer_sizes) - 1):
+            last = i == len(layer_sizes) - 2
+            act = output if last else hidden_activation
+            # Softmax is applied by the loss; the layer emits raw logits.
+            layer_act = "linear" if (last and output == "softmax") else act
+            self.layers.append(
+                Dense(layer_sizes[i], layer_sizes[i + 1], layer_act, rng=self.rng)
+            )
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        """Probabilities (sigmoid/softmax head) or raw outputs (linear)."""
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out = layer.forward(out, train=train)
+        if self.output == "softmax":
+            return softmax(out)
+        return out
+
+    def forward_upto(self, x: np.ndarray, layer_index: int) -> np.ndarray:
+        """Activations entering layer ``layer_index`` (quantization hook)."""
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers[:layer_index]:
+            out = layer.forward(out)
+        return out
+
+    def logits(self, x: np.ndarray) -> np.ndarray:
+        """Pre-head outputs of the final layer."""
+        out = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        for layer in self.layers:
+            out = layer.forward(out)
+        return out
+
+    def predict(self, x: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard labels: thresholded for sigmoid heads, argmax for softmax."""
+        probs = self.forward(x)
+        if self.output == "sigmoid":
+            return (probs.reshape(-1) >= threshold).astype(np.int64)
+        return probs.argmax(axis=-1)
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def train_batch(
+        self, x: np.ndarray, y: np.ndarray, optimizer: SGD, sample_weight: np.ndarray | None = None
+    ) -> float:
+        """One gradient step on a batch; returns the batch loss."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        out = x
+        for layer in self.layers[:-1]:
+            out = layer.forward(out, train=True)
+        head = self.layers[-1]
+        if self.output == "softmax":
+            logits = head.forward(out, train=True)
+            loss, grad_z = softmax_cross_entropy(logits, y)
+        else:
+            probs = head.forward(out, train=True)
+            loss, grad_z = binary_cross_entropy(probs, y)
+        if sample_weight is not None:
+            weights = np.asarray(sample_weight, dtype=np.float64).reshape(-1, 1)
+            grad_z = grad_z * weights * (len(weights) / max(weights.sum(), 1e-9))
+        grad = grad_z
+        for i in reversed(range(len(self.layers))):
+            layer = self.layers[i]
+            if i == len(self.layers) - 1:
+                grad, grad_w, grad_b = layer.backward_from_logits(grad)
+            else:
+                grad, grad_w, grad_b = layer.backward(grad)
+            optimizer.step(layer.weights, grad_w, key=2 * i)
+            optimizer.step(layer.bias, grad_b, key=2 * i + 1)
+        return loss
+
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 64,
+        lr: float = 0.05,
+        momentum: float = 0.9,
+        class_weight: dict[int, float] | None = None,
+        verbose: bool = False,
+    ) -> TrainLog:
+        """Minibatch SGD over the dataset; returns the training log."""
+        x = np.atleast_2d(np.asarray(x, dtype=np.float64))
+        y = np.asarray(y)
+        optimizer = SGD(lr=lr, momentum=momentum)
+        log = TrainLog()
+        weights_lut = None
+        if class_weight is not None:
+            weights_lut = np.ones(int(y.max()) + 1)
+            for cls, w in class_weight.items():
+                weights_lut[cls] = w
+        for epoch in range(epochs):
+            epoch_losses = []
+            for xb, yb in iterate_minibatches(x, y, batch_size, self.rng):
+                sw = weights_lut[yb.astype(np.int64)] if weights_lut is not None else None
+                epoch_losses.append(self.train_batch(xb, yb, optimizer, sw))
+            log.record(float(np.mean(epoch_losses)))
+            if verbose:  # pragma: no cover - debugging aid
+                print(f"epoch {epoch}: loss={log.final_loss:.4f}")
+        return log
+
+    # ------------------------------------------------------------------
+    # Weight transport (control plane -> data plane updates, Fig. 1)
+    # ------------------------------------------------------------------
+    def get_weights(self) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Copy out (weights, bias) per layer — the update payload."""
+        return [(layer.weights.copy(), layer.bias.copy()) for layer in self.layers]
+
+    def set_weights(self, weights: list[tuple[np.ndarray, np.ndarray]]) -> None:
+        """Install weights (as the switch does on a control-plane push)."""
+        if len(weights) != len(self.layers):
+            raise ValueError("layer count mismatch")
+        for layer, (w, b) in zip(self.layers, weights):
+            if layer.weights.shape != w.shape or layer.bias.shape != b.shape:
+                raise ValueError("weight shape mismatch")
+            layer.weights = w.copy()
+            layer.bias = b.copy()
+
+    @property
+    def n_params(self) -> int:
+        return sum(layer.n_params for layer in self.layers)
+
+    def weight_bytes(self, bits: int = 8) -> int:
+        """Model size when shipped at the given precision."""
+        return self.n_params * bits // 8
+
+
+def anomaly_detection_dnn(seed: int = 0) -> DNN:
+    """The paper's anomaly-detection DNN: 6 inputs, 12/6/3 hidden, sigmoid."""
+    return DNN([6, 12, 6, 3, 1], output="sigmoid", seed=seed)
+
+
+def iot_classifier_dnn(kernel: tuple[int, ...], seed: int = 0) -> DNN:
+    """A Table 3 IoT classifier, e.g. kernel=(4, 10, 2) -> 4x10x2 softmax."""
+    if len(kernel) < 2:
+        raise ValueError("kernel needs at least input and output sizes")
+    return DNN(list(kernel), output="softmax", seed=seed)

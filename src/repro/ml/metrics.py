@@ -1,0 +1,79 @@
+"""Evaluation metrics used throughout the paper's evaluation.
+
+The end-to-end study (Table 8, Figs. 13-14) scores anomaly detection with an
+F1 score "which takes into account the number of identified anomalies, missed
+anomalies, and benign packets incorrectly marked as anomalous"; Table 3 uses
+plain accuracy.  All metrics are implemented from scratch on numpy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "accuracy",
+    "confusion_matrix",
+    "precision_recall",
+    "f1_score",
+    "macro_f1",
+    "detection_rate",
+]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly-matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if y_true.size == 0:
+        return 0.0
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Counts matrix ``C[i, j]`` = samples with true class i predicted as j."""
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(initial=0), y_pred.max(initial=0))) + 1
+    mat = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(mat, (y_true, y_pred), 1)
+    return mat
+
+
+def precision_recall(
+    y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1
+) -> tuple[float, float]:
+    """Binary precision and recall for the ``positive`` class."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    tp = int(np.sum((y_pred == positive) & (y_true == positive)))
+    fp = int(np.sum((y_pred == positive) & (y_true != positive)))
+    fn = int(np.sum((y_pred != positive) & (y_true == positive)))
+    precision = tp / (tp + fp) if tp + fp else 0.0
+    recall = tp / (tp + fn) if tp + fn else 0.0
+    return precision, recall
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Binary F1 (harmonic mean of precision and recall), in [0, 1]."""
+    precision, recall = precision_recall(y_true, y_pred, positive)
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray, n_classes: int) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    scores = [f1_score(y_true, y_pred, positive=c) for c in range(n_classes)]
+    return float(np.mean(scores))
+
+
+def detection_rate(y_true: np.ndarray, y_pred: np.ndarray, positive: int = 1) -> float:
+    """Fraction of true positives that were flagged (recall, as a percent
+    this is the paper's "Detected (%)" column)."""
+    _, recall = precision_recall(y_true, y_pred, positive)
+    return recall

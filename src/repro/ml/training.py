@@ -1,0 +1,147 @@
+"""Optimizers, losses, and the minibatch training loop.
+
+The control plane trains models offline and pushes weight updates to the
+data plane (Fig. 1); the online-training study (Figs. 13-14) sweeps batch
+size and epoch count.  This module provides the from-scratch training
+machinery both paths share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "SGD",
+    "Adam",
+    "softmax_cross_entropy",
+    "binary_cross_entropy",
+    "mse_loss",
+    "iterate_minibatches",
+    "TrainLog",
+]
+
+
+class SGD:
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, lr: float = 0.05, momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[int, np.ndarray] = {}
+
+    def step(self, param: np.ndarray, grad: np.ndarray, key: int) -> None:
+        """Update ``param`` in place using ``grad``; ``key`` identifies it."""
+        if self.momentum:
+            vel = self._velocity.get(key)
+            if vel is None:
+                vel = np.zeros_like(param)
+            vel = self.momentum * vel - self.lr * grad
+            self._velocity[key] = vel
+            param += vel
+        else:
+            param -= self.lr * grad
+
+
+class Adam:
+    """Adam optimizer (Kingma & Ba) — used for the LSTM, which SGD trains
+    poorly at small batch sizes."""
+
+    def __init__(
+        self, lr: float = 0.01, beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8
+    ):
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m: dict[int, np.ndarray] = {}
+        self._v: dict[int, np.ndarray] = {}
+        self._t = 0
+
+    def begin_step(self) -> None:
+        """Advance the shared timestep (call once per batch)."""
+        self._t += 1
+
+    def step(self, param: np.ndarray, grad: np.ndarray, key: int) -> None:
+        if self._t == 0:
+            self._t = 1
+        m = self._m.get(key, np.zeros_like(param))
+        v = self._v.get(key, np.zeros_like(param))
+        m = self.beta1 * m + (1 - self.beta1) * grad
+        v = self.beta2 * v + (1 - self.beta2) * grad * grad
+        self._m[key], self._v[key] = m, v
+        m_hat = m / (1 - self.beta1**self._t)
+        v_hat = v / (1 - self.beta2**self._t)
+        param -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """Mean cross-entropy over integer labels; returns (loss, dL/dlogits)."""
+    logits = np.atleast_2d(logits)
+    labels = np.asarray(labels, dtype=np.int64)
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+    n = logits.shape[0]
+    nll = -np.log(np.clip(probs[np.arange(n), labels], 1e-12, None))
+    grad = probs.copy()
+    grad[np.arange(n), labels] -= 1.0
+    return float(nll.mean()), grad / n
+
+
+def binary_cross_entropy(
+    probs: np.ndarray, labels: np.ndarray
+) -> tuple[float, np.ndarray]:
+    """BCE for sigmoid outputs; returns (loss, dL/dlogit) fused through the
+    sigmoid (grad w.r.t. the pre-activation)."""
+    probs = np.asarray(probs, dtype=np.float64).reshape(-1)
+    labels = np.asarray(labels, dtype=np.float64).reshape(-1)
+    clipped = np.clip(probs, 1e-9, 1 - 1e-9)
+    loss = -np.mean(labels * np.log(clipped) + (1 - labels) * np.log(1 - clipped))
+    grad = (probs - labels).reshape(-1, 1) / probs.shape[0]
+    return float(loss), grad
+
+
+def mse_loss(pred: np.ndarray, target: np.ndarray) -> tuple[float, np.ndarray]:
+    """Mean squared error; returns (loss, dL/dpred)."""
+    pred = np.asarray(pred, dtype=np.float64)
+    target = np.asarray(target, dtype=np.float64)
+    diff = pred - target
+    return float(np.mean(diff * diff)), 2.0 * diff / diff.size
+
+
+def iterate_minibatches(
+    x: np.ndarray,
+    y: np.ndarray,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+):
+    """Yield (x_batch, y_batch) pairs covering the dataset once."""
+    n = len(x)
+    order = rng.permutation(n) if shuffle else np.arange(n)
+    for start in range(0, n, batch_size):
+        idx = order[start : start + batch_size]
+        yield x[idx], y[idx]
+
+
+@dataclass
+class TrainLog:
+    """Per-epoch training history."""
+
+    losses: list[float] = field(default_factory=list)
+    metrics: list[float] = field(default_factory=list)
+
+    def record(self, loss: float, metric: float | None = None) -> None:
+        self.losses.append(loss)
+        if metric is not None:
+            self.metrics.append(metric)
+
+    @property
+    def final_loss(self) -> float:
+        return self.losses[-1] if self.losses else float("nan")

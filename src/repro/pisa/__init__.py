@@ -1,0 +1,47 @@
+"""PISA switch substrate: parser, PHV, MATs, registers, scheduler, pipeline."""
+
+from .actions import MAX_OPS_PER_STAGE, Action, Primitive
+from .mat import MatchActionTable, MatchKind, TableEntry
+from .packet import Packet, from_record
+from .parser import Parser, ParseState, default_layout, default_parser
+from .phv import PHV, PHVLayout
+from .pipeline import (
+    DECISION_DROP,
+    DECISION_FLAG,
+    DECISION_FORWARD,
+    PipelineResult,
+    TaurusPipeline,
+)
+from .registers import FlowFeatureAccumulator, RegisterArray
+from .scheduler import PIFO, PacketQueue, RoundRobinArbiter
+from .tables import LogTransformTable, PortLikelihoodTable, StandardizeTable
+
+__all__ = [
+    "MAX_OPS_PER_STAGE",
+    "Action",
+    "Primitive",
+    "MatchActionTable",
+    "MatchKind",
+    "TableEntry",
+    "Packet",
+    "from_record",
+    "Parser",
+    "ParseState",
+    "default_layout",
+    "default_parser",
+    "PHV",
+    "PHVLayout",
+    "DECISION_DROP",
+    "DECISION_FLAG",
+    "DECISION_FORWARD",
+    "PipelineResult",
+    "TaurusPipeline",
+    "FlowFeatureAccumulator",
+    "RegisterArray",
+    "PIFO",
+    "PacketQueue",
+    "RoundRobinArbiter",
+    "LogTransformTable",
+    "PortLikelihoodTable",
+    "StandardizeTable",
+]

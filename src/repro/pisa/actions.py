@@ -1,0 +1,61 @@
+"""VLIW actions executed by match-action stages.
+
+A MAT stage issues a small number of parallel primitive operations on PHV
+fields — Tofino executes "12 operations per stage: four of each of 8, 16,
+and 32 bits" (Section 2.1.1).  We model an :class:`Action` as a bounded
+list of primitives and enforce the per-stage issue width, which is exactly
+the constraint that makes MAT-only ML expensive (Section 5.1.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from .phv import PHV
+
+__all__ = ["Primitive", "Action", "MAX_OPS_PER_STAGE"]
+
+#: Tofino-like issue width per MAT stage.
+MAX_OPS_PER_STAGE = 12
+
+
+@dataclass(frozen=True)
+class Primitive:
+    """One VLIW slot: dst <- fn(PHV).  ``fn`` returns the new value."""
+
+    dst: str
+    fn: Callable[[PHV], float]
+    note: str = ""
+
+
+@dataclass
+class Action:
+    """A named bundle of primitives applied atomically to a PHV."""
+
+    name: str
+    primitives: list[Primitive] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if len(self.primitives) > MAX_OPS_PER_STAGE:
+            raise ValueError(
+                f"action {self.name!r} has {len(self.primitives)} ops; "
+                f"a stage issues at most {MAX_OPS_PER_STAGE}"
+            )
+
+    def apply(self, phv: PHV) -> None:
+        # VLIW semantics: all slots read the old PHV, then write together.
+        staged = [(p.dst, p.fn(phv)) for p in self.primitives]
+        for dst, value in staged:
+            if dst in phv.layout.feature_fields:
+                phv.values[dst] = float(value)
+            else:
+                phv.set(dst, value)
+
+    @staticmethod
+    def set_const(name: str, dst: str, value: float) -> "Action":
+        return Action(name, [Primitive(dst, lambda phv, v=value: v, f"{dst}={value}")])
+
+    @staticmethod
+    def noop(name: str = "noop") -> "Action":
+        return Action(name, [])

@@ -1,0 +1,126 @@
+"""Match-action tables.
+
+The workhorse of PISA pipelines: a key built from PHV fields is matched
+(exact / ternary / LPM / range) against installed entries; the winning
+entry's action runs in the stage's VLIW slots.  Flow-rule installation is
+the control plane's (slow) interface to the data plane — the baseline path
+Taurus's weight updates replace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .actions import Action
+from .phv import PHV
+
+__all__ = ["MatchKind", "TableEntry", "MatchActionTable"]
+
+
+class MatchKind:
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+    RANGE = "range"
+
+    ALL = (EXACT, TERNARY, LPM, RANGE)
+
+
+@dataclass
+class TableEntry:
+    """One installed flow rule.
+
+    ``match`` maps field name -> match spec:
+      exact: value | ternary: (value, mask) | lpm: (prefix, length) |
+      range: (lo, hi) inclusive.
+    """
+
+    match: dict[str, object]
+    action: Action
+    priority: int = 0
+    hits: int = 0
+
+
+@dataclass
+class MatchActionTable:
+    """A single MAT with a declared match key and bounded capacity."""
+
+    name: str
+    key_fields: tuple[str, ...]
+    kind: str = MatchKind.EXACT
+    max_entries: int = 4096
+    default_action: Action = field(default_factory=Action.noop)
+    entries: list[TableEntry] = field(default_factory=list)
+    lookups: int = 0
+    misses: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in MatchKind.ALL:
+            raise ValueError(f"unknown match kind {self.kind!r}")
+        if not self.key_fields:
+            raise ValueError("a MAT needs at least one key field")
+
+    # ------------------------------------------------------------------
+    # Control-plane interface
+    # ------------------------------------------------------------------
+    def install(self, entry: TableEntry) -> None:
+        """Install a rule (raises when the table is full, as TCAMs do)."""
+        if len(self.entries) >= self.max_entries:
+            raise RuntimeError(f"table {self.name!r} is full ({self.max_entries})")
+        missing = set(entry.match) - set(self.key_fields)
+        if missing:
+            raise ValueError(f"match on non-key fields: {sorted(missing)}")
+        self.entries.append(entry)
+        # Ternary/range tables order by priority (highest wins).
+        self.entries.sort(key=lambda e: -e.priority)
+
+    def remove_all(self) -> int:
+        """Flush the table; returns the number of removed entries."""
+        n = len(self.entries)
+        self.entries.clear()
+        return n
+
+    @property
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Data-plane lookup
+    # ------------------------------------------------------------------
+    def _matches(self, entry: TableEntry, phv: PHV) -> bool:
+        for fname in self.key_fields:
+            if fname not in entry.match:
+                continue  # wildcard
+            value = int(phv.get(fname))
+            spec = entry.match[fname]
+            if self.kind == MatchKind.EXACT:
+                if value != int(spec):  # type: ignore[arg-type]
+                    return False
+            elif self.kind == MatchKind.TERNARY:
+                want, mask = spec  # type: ignore[misc]
+                if (value & int(mask)) != (int(want) & int(mask)):
+                    return False
+            elif self.kind == MatchKind.LPM:
+                prefix, length = spec  # type: ignore[misc]
+                shift = 32 - int(length)
+                if (value >> shift) != (int(prefix) >> shift):
+                    return False
+            else:  # RANGE
+                lo, hi = spec  # type: ignore[misc]
+                if not int(lo) <= value <= int(hi):
+                    return False
+        return True
+
+    def lookup(self, phv: PHV) -> Action:
+        """Find the winning entry's action (or the default on a miss)."""
+        self.lookups += 1
+        for entry in self.entries:
+            if self._matches(entry, phv):
+                entry.hits += 1
+                return entry.action
+        self.misses += 1
+        return self.default_action
+
+    def apply(self, phv: PHV) -> None:
+        """Lookup then run the action — one pipeline stage's work."""
+        self.lookup(phv).apply(phv)

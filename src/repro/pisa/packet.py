@@ -1,0 +1,65 @@
+"""Packets as the switch sees them.
+
+A :class:`Packet` carries parsed-header fields, a payload length, and
+per-switch metadata.  Ground-truth labels from the dataset ride along for
+scoring only — the data plane never reads them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["Packet", "from_record"]
+
+
+@dataclass
+class Packet:
+    """One packet entering the pipeline."""
+
+    headers: dict[str, int | float] = field(default_factory=dict)
+    payload_len: int = 0
+    arrival_time: float = 0.0
+    metadata: dict[str, float] = field(default_factory=dict)
+    features: np.ndarray | None = None
+    truth_label: int | None = None
+    flow_id: int | None = None
+
+    @property
+    def five_tuple(self) -> tuple:
+        h = self.headers
+        return (
+            h.get("src_ip", 0),
+            h.get("dst_ip", 0),
+            h.get("src_port", 0),
+            h.get("dst_port", 0),
+            h.get("protocol", 0),
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        # Ethernet + IP + TCP/UDP headers plus the payload.
+        return 14 + 20 + 20 + self.payload_len
+
+
+def from_record(record) -> Packet:
+    """Build a :class:`Packet` from a dataset
+    :class:`~repro.datasets.packets.PacketRecord`."""
+    src_ip, dst_ip, src_port, dst_port, proto = record.five_tuple
+    return Packet(
+        headers={
+            "src_ip": src_ip,
+            "dst_ip": dst_ip,
+            "src_port": src_port,
+            "dst_port": dst_port,
+            "protocol": proto,
+            "urgent_flag": 0,
+            "seq": record.seq_in_flow,
+        },
+        payload_len=max(0, record.size_bytes - 54),
+        arrival_time=record.time,
+        features=record.features,
+        truth_label=record.label,
+        flow_id=record.flow_id,
+    )

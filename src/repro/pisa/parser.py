@@ -1,0 +1,120 @@
+"""Programmable packet parser (parse graph -> PHV).
+
+PISA parsers walk a state machine, extracting header fields into the PHV
+(Gibb et al., "Design principles for packet parsers").  We model the parse
+graph explicitly: states extract fields and branch on a select field.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .packet import Packet
+from .phv import PHV, PHVLayout
+
+__all__ = ["ParseState", "Parser", "default_layout", "default_parser"]
+
+
+@dataclass
+class ParseState:
+    """One parser state: extract fields, then branch on a select field."""
+
+    name: str
+    extracts: list[str] = field(default_factory=list)
+    select: str | None = None
+    transitions: dict[int, str] = field(default_factory=dict)
+    default_next: str | None = None  # None terminates parsing
+
+
+class Parser:
+    """A parse graph executed per packet.
+
+    Parameters
+    ----------
+    layout:
+        PHV layout fields are extracted into.
+    states:
+        Parse states, keyed by name; parsing starts at ``start``.
+    """
+
+    def __init__(self, layout: PHVLayout, states: dict[str, ParseState], start: str = "start"):
+        if start not in states:
+            raise ValueError(f"missing start state {start!r}")
+        for state in states.values():
+            for target in list(state.transitions.values()) + (
+                [state.default_next] if state.default_next else []
+            ):
+                if target is not None and target not in states:
+                    raise ValueError(f"transition to unknown state {target!r}")
+        self.layout = layout
+        self.states = states
+        self.start = start
+        self.packets_parsed = 0
+
+    def parse(self, packet: Packet) -> PHV:
+        """Walk the parse graph, producing the packet's PHV."""
+        phv = PHV(self.layout)
+        state_name: str | None = self.start
+        visited = 0
+        while state_name is not None:
+            visited += 1
+            if visited > len(self.states) + 1:
+                raise RuntimeError("parse graph loop detected")
+            state = self.states[state_name]
+            for fname in state.extracts:
+                phv.set(fname, packet.headers.get(fname, 0))
+            if state.select is not None:
+                key = int(packet.headers.get(state.select, 0))
+                state_name = state.transitions.get(key, state.default_next)
+            else:
+                state_name = state.default_next
+        phv.set("payload_len", packet.payload_len)
+        self.packets_parsed += 1
+        return phv
+
+
+def default_layout(feature_names: tuple[str, ...]) -> PHVLayout:
+    """The standard Taurus PHV: 5-tuple + flags + a dense feature region."""
+    header_fields = (
+        ("src_ip", 32),
+        ("dst_ip", 32),
+        ("src_port", 16),
+        ("dst_port", 16),
+        ("protocol", 8),
+        ("urgent_flag", 1),
+        ("seq", 32),
+        ("payload_len", 16),
+        ("ml_bypass", 1),
+        ("ml_score", 16),
+        ("decision", 2),
+    )
+    feature_fields = tuple((name, 8) for name in feature_names)
+    return PHVLayout(
+        fields=header_fields + feature_fields,
+        feature_fields=feature_names,
+    )
+
+
+def default_parser(layout: PHVLayout) -> Parser:
+    """Ethernet -> IPv4 -> {TCP, UDP} parse graph."""
+    states = {
+        "start": ParseState(
+            name="start",
+            extracts=["src_ip", "dst_ip", "protocol"],
+            select="protocol",
+            transitions={0: "tcp", 1: "udp"},
+            default_next="accept",
+        ),
+        "tcp": ParseState(
+            name="tcp",
+            extracts=["src_port", "dst_port", "urgent_flag", "seq"],
+            default_next="accept",
+        ),
+        "udp": ParseState(
+            name="udp",
+            extracts=["src_port", "dst_port"],
+            default_next="accept",
+        ),
+        "accept": ParseState(name="accept"),
+    }
+    return Parser(layout, states)

@@ -1,0 +1,87 @@
+"""Packet Header Vectors.
+
+PISA parsers emit a PHV — "a fixed-layout, structured format" — that flows
+through the match-action stages.  Taurus extends the PHV with a dense
+feature region: "only the required feature headers enter the MapReduce
+block as a dense PHV (to minimize sparse data occurrences)" (Section 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..fixpoint import FIX8, FixedPointFormat
+
+__all__ = ["PHVLayout", "PHV"]
+
+
+@dataclass(frozen=True)
+class PHVLayout:
+    """Field names and bit-widths of the PHV (a fixed hardware layout)."""
+
+    fields: tuple[tuple[str, int], ...]
+    feature_fields: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        names = [name for name, __ in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate PHV field names")
+        missing = set(self.feature_fields) - set(names)
+        if missing:
+            raise ValueError(f"feature fields not in layout: {sorted(missing)}")
+
+    @property
+    def total_bits(self) -> int:
+        return sum(width for __, width in self.fields)
+
+    def width_of(self, name: str) -> int:
+        for field_name, width in self.fields:
+            if field_name == name:
+                return width
+        raise KeyError(name)
+
+
+@dataclass
+class PHV:
+    """One packet's header vector (values stored as Python ints/floats)."""
+
+    layout: PHVLayout
+    values: dict[str, float] = field(default_factory=dict)
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        self.layout.width_of(name)  # validates the field exists
+        return self.values.get(name, default)
+
+    def set(self, name: str, value: float) -> None:
+        width = self.layout.width_of(name)
+        if name not in self.layout.feature_fields:
+            # Header fields are unsigned integers of the declared width.
+            mask = (1 << width) - 1
+            value = int(value) & mask
+        self.values[name] = value
+
+    # ------------------------------------------------------------------
+    # Feature region: the dense slice that enters the MapReduce block
+    # ------------------------------------------------------------------
+    def feature_vector(self, fmt: FixedPointFormat = FIX8) -> np.ndarray:
+        """Features as fixed-point-formatted values (what the fabric sees).
+
+        Preprocessing MATs "format these features as fixed-point numbers"
+        (Section 5.2.2); the roundtrip applies that quantization.
+        """
+        raw = np.array(
+            [self.values.get(name, 0.0) for name in self.layout.feature_fields]
+        )
+        return fmt.roundtrip(np.clip(raw, fmt.min_value, fmt.max_value))
+
+    def set_features(self, values: np.ndarray) -> None:
+        names = self.layout.feature_fields
+        values = np.asarray(values, dtype=np.float64)
+        if len(values) != len(names):
+            raise ValueError(
+                f"expected {len(names)} features, got {len(values)}"
+            )
+        for name, value in zip(names, values):
+            self.values[name] = float(value)

@@ -1,0 +1,177 @@
+"""The Taurus data-plane pipeline (Fig. 6).
+
+Parse -> preprocessing MATs -> {MapReduce block | bypass} -> postprocessing
+MATs -> scheduler.  Preprocessing decides (as PHV metadata) whether the
+packet needs ML; non-ML packets take the bypass sub-queue and incur no
+added latency.  A round-robin arbiter merges the two paths in front of the
+postprocessing MATs.
+
+Latency accounting: a parsed packet crosses ``n_mat_stages`` single-cycle
+MAT stages plus the scheduler (the ~1 us baseline datacenter switch of
+Section 5.1.2); ML packets additionally pay the MapReduce block's compiled
+latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..hw.grid import MapReduceBlock
+from ..hw.params import CLOCK_GHZ
+from .actions import Action
+from .mat import MatchActionTable
+from .packet import Packet
+from .parser import Parser, default_layout, default_parser
+from .phv import PHV
+from .registers import FlowFeatureAccumulator
+from .scheduler import PacketQueue, RoundRobinArbiter
+
+__all__ = ["PipelineResult", "TaurusPipeline", "DECISION_FORWARD", "DECISION_DROP", "DECISION_FLAG"]
+
+DECISION_FORWARD = 0
+DECISION_FLAG = 1
+DECISION_DROP = 2
+
+#: Base one-way latency of the conventional switch stages (parse + MATs +
+#: queueing), Section 5.1.2's "datacenter switch latency of 1 us".
+BASE_SWITCH_LATENCY_NS = 1000.0
+
+
+@dataclass
+class PipelineResult:
+    """Outcome of one packet's transit."""
+
+    packet: Packet
+    phv: PHV
+    decision: int
+    ml_score: float | None
+    latency_ns: float
+    bypassed: bool
+
+
+@dataclass
+class TaurusPipeline:
+    """A programmable switch pipeline with an attached MapReduce block.
+
+    Parameters
+    ----------
+    block:
+        The configured MapReduce block (or None for a plain PISA switch).
+    feature_names:
+        Names of the dense PHV feature region.
+    bypass_predicate:
+        Decides from the parsed PHV whether the packet skips ML (default:
+        everything goes through ML).
+    postprocess:
+        Maps the fabric's numeric output to a decision code; default
+        thresholds score >= 0.5 as FLAG (the anomaly use case).
+    """
+
+    block: MapReduceBlock | None
+    feature_names: tuple[str, ...]
+    bypass_predicate: Callable[[PHV], bool] = field(default=lambda phv: False)
+    postprocess: Callable[[np.ndarray], int] = field(
+        default=lambda value: DECISION_FLAG if float(np.atleast_1d(value)[0]) >= 0.5 else DECISION_FORWARD
+    )
+    parser: Parser = field(init=False)
+    preprocess_tables: list[MatchActionTable] = field(default_factory=list)
+    postprocess_tables: list[MatchActionTable] = field(default_factory=list)
+    accumulator: FlowFeatureAccumulator = field(default_factory=FlowFeatureAccumulator)
+    ml_queue: PacketQueue = field(init=False)
+    bypass_queue: PacketQueue = field(init=False)
+    stats: dict[str, int] = field(
+        default_factory=lambda: {"ml": 0, "bypass": 0, "flagged": 0, "dropped": 0}
+    )
+
+    def __post_init__(self) -> None:
+        layout = default_layout(self.feature_names)
+        self.parser = default_parser(layout)
+        self.ml_queue = PacketQueue("mapreduce", capacity=8192)
+        self.bypass_queue = PacketQueue("bypass", capacity=8192)
+        self.arbiter = RoundRobinArbiter([self.ml_queue, self.bypass_queue])
+
+    # ------------------------------------------------------------------
+    # Control-plane hooks
+    # ------------------------------------------------------------------
+    def install_preprocess(self, table: MatchActionTable) -> None:
+        self.preprocess_tables.append(table)
+
+    def install_postprocess(self, table: MatchActionTable) -> None:
+        self.postprocess_tables.append(table)
+
+    # ------------------------------------------------------------------
+    # Per-packet processing
+    # ------------------------------------------------------------------
+    def process(self, packet: Packet) -> PipelineResult:
+        """One packet through parse/preprocess/ML-or-bypass/postprocess."""
+        phv = self.parser.parse(packet)
+
+        # Stateful feature accumulation (Section 3.1).
+        aggregates = self.accumulator.update(
+            packet.five_tuple,
+            packet.size_bytes,
+            urgent=bool(packet.headers.get("urgent_flag", 0)),
+            now_s=packet.arrival_time,
+        )
+        for key, value in aggregates.items():
+            packet.metadata[key] = float(value)
+
+        # Flow-level model features ride in the dense PHV region.
+        if packet.features is not None:
+            phv.set_features(packet.features)
+
+        for table in self.preprocess_tables:
+            table.apply(phv)
+
+        bypass = self.bypass_predicate(phv) or self.block is None
+        phv.set("ml_bypass", 1 if bypass else 0)
+
+        ml_score: float | None = None
+        if bypass:
+            self.bypass_queue.push(packet)
+            self.stats["bypass"] += 1
+            latency = BASE_SWITCH_LATENCY_NS
+            decision = DECISION_FORWARD
+        else:
+            self.ml_queue.push(packet)
+            self.stats["ml"] += 1
+            result = self.block.process(phv.feature_vector())
+            ml_score = float(np.atleast_1d(result.value)[0])
+            phv.set("ml_score", int(abs(ml_score) * 256) & 0xFFFF)
+            latency = BASE_SWITCH_LATENCY_NS + result.latency_ns
+            decision = self.postprocess(result.value)
+
+        # Postprocessing rules may override the ML decision (safety bounds,
+        # Section 3.2).  An explicit write to the PHV's decision field wins.
+        phv.values.pop("decision", None)
+        for table in self.postprocess_tables:
+            table.apply(phv)
+        if "decision" in phv.values:
+            decision = int(phv.get("decision"))
+
+        if decision == DECISION_DROP:
+            self.stats["dropped"] += 1
+        elif decision == DECISION_FLAG:
+            self.stats["flagged"] += 1
+        self.arbiter.select()  # merge point drains one packet per slot
+
+        return PipelineResult(
+            packet=packet,
+            phv=phv,
+            decision=decision,
+            ml_score=ml_score,
+            latency_ns=latency,
+            bypassed=bypass,
+        )
+
+    def process_trace(self, packets: list[Packet]) -> list[PipelineResult]:
+        """Convenience: run a list of packets in arrival order."""
+        return [self.process(p) for p in sorted(packets, key=lambda p: p.arrival_time)]
+
+    @property
+    def added_latency_ns(self) -> float:
+        """Extra latency an ML packet pays vs the bypass path."""
+        return 0.0 if self.block is None else self.block.latency_ns

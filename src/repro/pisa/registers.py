@@ -1,0 +1,99 @@
+"""Stateful registers: cross-packet, cross-flow feature accumulation.
+
+Section 3.1: "We use stateful elements (i.e., registers) of the
+switch-processing pipeline to aggregate features across packets and across
+flows" — e.g. counting urgent flags or tracking connection duration.  A
+register array is indexed by a hash of the flow key (as real switches do),
+so collisions are possible and modeled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["RegisterArray", "FlowFeatureAccumulator"]
+
+
+def _fnv1a(key: tuple) -> int:
+    """FNV-1a over the flow key's integer components (deterministic)."""
+    acc = 0xCBF29CE484222325
+    for part in key:
+        for byte in int(part).to_bytes(8, "little", signed=False):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+@dataclass
+class RegisterArray:
+    """A fixed-size array of saturating counters/accumulators."""
+
+    size: int
+    width_bits: int = 32
+    values: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.size <= 0:
+            raise ValueError("size must be positive")
+        self.values = np.zeros(self.size, dtype=np.int64)
+
+    @property
+    def max_value(self) -> int:
+        return (1 << self.width_bits) - 1
+
+    def index_of(self, key: tuple) -> int:
+        return _fnv1a(key) % self.size
+
+    def read(self, key: tuple) -> int:
+        return int(self.values[self.index_of(key)])
+
+    def add(self, key: tuple, amount: int = 1) -> int:
+        """Saturating add; returns the new value."""
+        idx = self.index_of(key)
+        self.values[idx] = min(self.values[idx] + amount, self.max_value)
+        return int(self.values[idx])
+
+    def write(self, key: tuple, value: int) -> None:
+        self.values[self.index_of(key)] = min(int(value), self.max_value)
+
+    def clear(self) -> None:
+        self.values[:] = 0
+
+
+@dataclass
+class FlowFeatureAccumulator:
+    """Per-flow running features maintained by preprocessing MATs.
+
+    Tracks the aggregates the anomaly pipeline needs: packet count, byte
+    count, urgent-flag count, and first-seen time (for duration).
+    """
+
+    slots: int = 65536
+    packet_count: RegisterArray = field(init=False)
+    byte_count: RegisterArray = field(init=False)
+    urgent_count: RegisterArray = field(init=False)
+    first_seen_ms: RegisterArray = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.packet_count = RegisterArray(self.slots)
+        self.byte_count = RegisterArray(self.slots, width_bits=48)
+        self.urgent_count = RegisterArray(self.slots)
+        self.first_seen_ms = RegisterArray(self.slots, width_bits=48)
+
+    def update(self, five_tuple: tuple, size_bytes: int, urgent: bool, now_s: float) -> dict:
+        """Apply one packet; returns the flow's current aggregates."""
+        now_ms = int(now_s * 1e3)
+        if self.packet_count.read(five_tuple) == 0:
+            self.first_seen_ms.write(five_tuple, now_ms)
+        pkts = self.packet_count.add(five_tuple)
+        size = self.byte_count.add(five_tuple, size_bytes)
+        urg = self.urgent_count.add(five_tuple, 1 if urgent else 0)
+        duration_ms = now_ms - self.first_seen_ms.read(five_tuple)
+        return {
+            "flow_pkts": pkts,
+            "flow_bytes": size,
+            "flow_urgent": urg,
+            "flow_duration_ms": duration_ms,
+        }

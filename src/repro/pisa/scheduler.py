@@ -1,0 +1,107 @@
+"""Packet scheduling: PIFO and the bypass-path round-robin arbiter.
+
+Postprocessing "connects inference to scheduling, which uses abstractions
+like PIFO to support a variety of scheduling algorithms" (Section 3.2); the
+modified pipeline splits the packet queue into sub-queues with "a
+round-robin (RR) selector arbitrat[ing] which path to connect to the
+postprocessing MATs" (Fig. 6).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+__all__ = ["PIFO", "PacketQueue", "RoundRobinArbiter"]
+
+
+class PIFO:
+    """A push-in first-out queue: enqueue with a rank, dequeue smallest.
+
+    Ties break by arrival order, which keeps equal-rank packets FIFO (the
+    property Sivaraman et al.'s hardware design guarantees).
+    """
+
+    def __init__(self, capacity: int = 65536):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._heap: list[tuple[float, int, Any]] = []
+        self._counter = itertools.count()
+        self.drops = 0
+
+    def push(self, item: Any, rank: float) -> bool:
+        """Enqueue; returns False (tail-drop) when full."""
+        if len(self._heap) >= self.capacity:
+            self.drops += 1
+            return False
+        heapq.heappush(self._heap, (rank, next(self._counter), item))
+        return True
+
+    def pop(self) -> Any:
+        if not self._heap:
+            raise IndexError("pop from empty PIFO")
+        return heapq.heappop(self._heap)[2]
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def peek_rank(self) -> float:
+        if not self._heap:
+            raise IndexError("peek on empty PIFO")
+        return self._heap[0][0]
+
+
+@dataclass
+class PacketQueue:
+    """A bounded FIFO sub-queue (per pipeline block, Fig. 6)."""
+
+    name: str
+    capacity: int = 4096
+    items: list[Any] = field(default_factory=list)
+    drops: int = 0
+    high_watermark: int = 0
+
+    def push(self, item: Any) -> bool:
+        if len(self.items) >= self.capacity:
+            self.drops += 1
+            return False
+        self.items.append(item)
+        self.high_watermark = max(self.high_watermark, len(self.items))
+        return True
+
+    def pop(self) -> Any:
+        return self.items.pop(0)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class RoundRobinArbiter:
+    """Round-robin selection across the ML and bypass queues."""
+
+    def __init__(self, queues: list[PacketQueue]):
+        if not queues:
+            raise ValueError("arbiter needs at least one queue")
+        self.queues = queues
+        self._turn = 0
+
+    def select(self) -> Any | None:
+        """Pop from the next non-empty queue in RR order (None if all empty)."""
+        for offset in range(len(self.queues)):
+            queue = self.queues[(self._turn + offset) % len(self.queues)]
+            if len(queue):
+                self._turn = (self._turn + offset + 1) % len(self.queues)
+                return queue.pop()
+        return None
+
+    def drain(self) -> list[Any]:
+        """Pop until all queues are empty (preserving RR interleave)."""
+        out = []
+        while True:
+            item = self.select()
+            if item is None:
+                return out
+            out.append(item)

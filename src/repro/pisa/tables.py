@@ -1,0 +1,104 @@
+"""Preprocessing lookup tables (feature engineering in MATs).
+
+Section 3.1: "Taurus replaces categorical relationships with simpler
+numeric relationships using lookup tables; for example, a table transforms
+port numbers into a linear likelihood value" and "taking a logarithm of an
+exponentially distributed variable results in a uniform distribution, which
+an ML model can process with fewer layers."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PortLikelihoodTable", "LogTransformTable", "StandardizeTable"]
+
+
+@dataclass
+class PortLikelihoodTable:
+    """Port number -> anomaly-likelihood prior, installed by the controller.
+
+    Well-known service ports get low priors; ephemeral/rare ports higher.
+    """
+
+    priors: dict[int, float] = field(default_factory=dict)
+    default_prior: float = 0.5
+
+    @classmethod
+    def from_traffic(cls, ports: np.ndarray, labels: np.ndarray) -> "PortLikelihoodTable":
+        """Learn priors from labeled traffic (control-plane training)."""
+        ports = np.asarray(ports, dtype=np.int64)
+        labels = np.asarray(labels, dtype=np.float64)
+        priors = {}
+        for port in np.unique(ports):
+            mask = ports == port
+            priors[int(port)] = float(labels[mask].mean())
+        return cls(priors=priors)
+
+    def lookup(self, port: int) -> float:
+        return self.priors.get(int(port), self.default_prior)
+
+    @property
+    def n_entries(self) -> int:
+        return len(self.priors)
+
+
+@dataclass
+class LogTransformTable:
+    """Piecewise log2 approximation as an MAT-friendly range table.
+
+    Hardware cannot take logs in an action, but a range-match table over
+    value magnitudes emits ``floor(log2(v))`` plus a linear interpolation
+    term — enough to uniformize heavy-tailed counters.
+    """
+
+    max_bits: int = 32
+
+    def lookup(self, value: float) -> float:
+        value = max(float(value), 0.0)
+        if value < 1.0:
+            return value  # below 1, identity (avoids -inf)
+        exponent = int(np.floor(np.log2(value)))
+        base = 1 << exponent
+        frac = (value - base) / base
+        return exponent + frac  # linear-in-segment log2 approximation
+
+    def error_vs_exact(self, values: np.ndarray) -> float:
+        """Max abs error against ln -> log2 exact transform (for tests)."""
+        values = np.asarray(values, dtype=np.float64)
+        approx = np.array([self.lookup(v) for v in values])
+        exact = np.where(values >= 1.0, np.log2(np.maximum(values, 1e-12)), values)
+        return float(np.max(np.abs(approx - exact)))
+
+
+@dataclass
+class StandardizeTable:
+    """Per-feature (x - mean) / std as shift/add MAT actions.
+
+    The controller computes means and scales offline and installs them; the
+    data plane applies them per packet so features land in the fixed-point
+    format's dynamic range.
+    """
+
+    means: np.ndarray
+    scales: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.means = np.asarray(self.means, dtype=np.float64)
+        self.scales = np.asarray(self.scales, dtype=np.float64)
+        if self.means.shape != self.scales.shape:
+            raise ValueError("means and scales must align")
+        if np.any(self.scales == 0):
+            raise ValueError("scales must be nonzero")
+
+    @classmethod
+    def fit(cls, features: np.ndarray) -> "StandardizeTable":
+        features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+        std = features.std(axis=0)
+        std[std == 0] = 1.0
+        return cls(means=features.mean(axis=0), scales=std)
+
+    def apply(self, features: np.ndarray) -> np.ndarray:
+        return (np.asarray(features, dtype=np.float64) - self.means) / self.scales

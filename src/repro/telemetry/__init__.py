@@ -1,0 +1,5 @@
+"""In-band network telemetry support."""
+
+from .int_headers import IntFrame, IntStack, int_features
+
+__all__ = ["IntFrame", "IntStack", "int_features"]

@@ -1,0 +1,82 @@
+"""In-band network telemetry (INT).
+
+Section 3.1: "in-band network telemetry (INT) — measurements embedded into
+packets — provides switches with a view of global network state ... models
+can examine the packet's entire history."  Each hop pushes a metadata frame
+onto the packet's INT stack; a Taurus switch pops the stack into model
+features (queue depths, hop latencies, link utilization along the path).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["IntFrame", "IntStack", "int_features"]
+
+
+@dataclass(frozen=True)
+class IntFrame:
+    """One hop's telemetry record."""
+
+    switch_id: int
+    queue_depth: int
+    hop_latency_ns: float
+    link_utilization: float  # [0, 1]
+    timestamp_ns: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.link_utilization <= 1.0:
+            raise ValueError("link_utilization must be in [0, 1]")
+        if self.queue_depth < 0 or self.hop_latency_ns < 0:
+            raise ValueError("telemetry values must be non-negative")
+
+
+@dataclass
+class IntStack:
+    """The per-packet INT header stack (bounded, as real INT is)."""
+
+    max_hops: int = 8
+    frames: list[IntFrame] = field(default_factory=list)
+
+    def push(self, frame: IntFrame) -> bool:
+        """Add this hop's frame; returns False when the stack is full
+        (further hops stop appending, matching the INT spec)."""
+        if len(self.frames) >= self.max_hops:
+            return False
+        self.frames.append(frame)
+        return True
+
+    @property
+    def path_latency_ns(self) -> float:
+        return sum(f.hop_latency_ns for f in self.frames)
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max((f.queue_depth for f in self.frames), default=0)
+
+    @property
+    def bottleneck_utilization(self) -> float:
+        return max((f.link_utilization for f in self.frames), default=0.0)
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+
+def int_features(stack: IntStack) -> np.ndarray:
+    """Summarize an INT stack into a fixed-width model feature vector.
+
+    Returns (hops, total path latency us, max queue depth (log2), bottleneck
+    utilization) — global-state features the paper argues enable per-packet
+    predictions beyond local switch state.
+    """
+    depth = stack.max_queue_depth
+    return np.array(
+        [
+            float(len(stack)),
+            stack.path_latency_ns / 1e3,
+            float(np.log2(depth + 1)),
+            stack.bottleneck_utilization,
+        ]
+    )

@@ -1,0 +1,32 @@
+"""End-to-end testbed: traffic, control-plane baseline, Taurus data plane,
+online training, and the Table 8 harness."""
+
+from .control import BaselineResult, ControlPlaneBaseline, StageLatencies
+from .dataplane import DataPlaneResult, TaurusDataPlane
+from .events import EventQueue
+from .experiment import (
+    DEFAULT_SAMPLING_RATES,
+    EndToEndExperiment,
+    EndToEndRow,
+    format_table8,
+)
+from .traffic import Workload, build_workload
+from .training import ConvergencePoint, OnlineTrainer, TrainingCostModel
+
+__all__ = [
+    "BaselineResult",
+    "ControlPlaneBaseline",
+    "StageLatencies",
+    "DataPlaneResult",
+    "TaurusDataPlane",
+    "EventQueue",
+    "DEFAULT_SAMPLING_RATES",
+    "EndToEndExperiment",
+    "EndToEndRow",
+    "format_table8",
+    "Workload",
+    "build_workload",
+    "ConvergencePoint",
+    "OnlineTrainer",
+    "TrainingCostModel",
+]

@@ -1,0 +1,62 @@
+"""A minimal discrete-event simulation core.
+
+The end-to-end testbed (Section 5.2) interleaves traffic arrival, server
+batch processing, and rule installation; this event queue keeps their
+clocks consistent.  Events fire in (time, priority, insertion) order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+__all__ = ["EventQueue"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    priority: int
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class EventQueue:
+    """Time-ordered callback scheduler."""
+
+    def __init__(self):
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+        self.events_run = 0
+
+    def schedule(self, time: float, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        heapq.heappush(self._heap, _Event(time, priority, next(self._seq), callback))
+
+    def schedule_in(self, delay: float, callback: Callable[[], None], priority: int = 0) -> None:
+        """Schedule ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        self.schedule(self.now + delay, callback, priority)
+
+    def run(self, until: float | None = None) -> float:
+        """Run events until the queue drains or ``until`` is reached."""
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return self.now
+            event = heapq.heappop(self._heap)
+            self.now = event.time
+            self.events_run += 1
+            event.callback()
+        if until is not None:
+            self.now = max(self.now, until)
+        return self.now
+
+    def __len__(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,59 @@
+"""Shared fixtures: small trained models reused across the test suite.
+
+Training is deterministic (seeded) and sized to keep the suite fast;
+session scope means each model trains once.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    dnn_feature_matrix,
+    generate_connections,
+    iot_cluster_dataset,
+    svm_feature_matrix,
+)
+from repro.fixpoint import quantize_model
+from repro.ml import KMeans, RBFKernelSVM, anomaly_detection_dnn
+
+
+@pytest.fixture(scope="session")
+def connections():
+    """A moderately sized NSL-KDD-like dataset."""
+    return generate_connections(4000, seed=11)
+
+
+@pytest.fixture(scope="session")
+def train_test_split(connections):
+    rng = np.random.default_rng(5)
+    return connections.split(0.7, rng)
+
+
+@pytest.fixture(scope="session")
+def trained_dnn(train_test_split):
+    train, __ = train_test_split
+    model = anomaly_detection_dnn(seed=3)
+    model.fit(dnn_feature_matrix(train), train.labels, epochs=15, batch_size=64)
+    return model
+
+
+@pytest.fixture(scope="session")
+def quantized_dnn(trained_dnn, train_test_split):
+    train, __ = train_test_split
+    return quantize_model(trained_dnn, dnn_feature_matrix(train)[:256])
+
+
+@pytest.fixture(scope="session")
+def trained_svm(train_test_split):
+    train, __ = train_test_split
+    model = RBFKernelSVM(budget=16, epochs=2, seed=3)
+    model.fit(svm_feature_matrix(train)[:600], train.labels[:600])
+    return model
+
+
+@pytest.fixture(scope="session")
+def trained_kmeans():
+    features, __ = iot_cluster_dataset(1200, seed=7)
+    return KMeans(n_clusters=5, seed=7).fit(features)

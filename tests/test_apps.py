@@ -1,0 +1,180 @@
+"""Tests for the application layer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.apps import (
+    APPLICATIONS,
+    CountMinSketch,
+    ElasticRSS,
+    ReactionTime,
+    cluster_purity,
+    meets_requirement,
+)
+
+
+class TestRegistry:
+    def test_table1_row_count(self):
+        assert len(APPLICATIONS) == 10  # Table 1's rows
+
+    def test_categories(self):
+        cats = {app.category for app in APPLICATIONS}
+        assert cats == {"security", "performance"}
+
+    def test_per_packet_apps_need_taurus(self):
+        """Apps with packet timescales cannot be served by a ms control plane."""
+        control_plane_latency = 32e-3  # Table 8's best case
+        taurus_latency = 221e-9
+        for app in APPLICATIONS:
+            if ReactionTime.PACKET in app.timescales:
+                assert not meets_requirement(app, control_plane_latency), app.name
+                assert meets_requirement(app, taurus_latency), app.name
+
+    def test_flow_scale_apps_tolerate_control_plane(self):
+        heavy_hitters = next(a for a in APPLICATIONS if a.name == "heavy_hitters")
+        assert meets_requirement(heavy_hitters, 5e-3)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            meets_requirement(APPLICATIONS[0], -1.0)
+
+
+class TestCountMinSketch:
+    def test_never_undercounts(self):
+        """The CMS estimate is a one-sided overapproximation."""
+        rng = np.random.default_rng(0)
+        cms = CountMinSketch(width=256, depth=4)
+        truth: dict[tuple, int] = {}
+        for __ in range(3000):
+            key = (int(rng.integers(0, 200)),)
+            cms.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        for key, count in truth.items():
+            assert cms.query(key) >= count
+
+    def test_error_bound(self):
+        """Overcount <= 2N/width for the vast majority of keys."""
+        rng = np.random.default_rng(1)
+        cms = CountMinSketch(width=512, depth=4)
+        truth: dict[tuple, int] = {}
+        for __ in range(5000):
+            key = (int(rng.integers(0, 500)),)
+            cms.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        bound = 2 * cms.total / cms.width
+        violations = sum(
+            1 for key, count in truth.items() if cms.query(key) - count > bound
+        )
+        assert violations / len(truth) < 0.07
+
+    def test_conservative_update_tighter(self):
+        rng = np.random.default_rng(2)
+        keys = [(int(rng.integers(0, 300)),) for __ in range(4000)]
+        plain = CountMinSketch(width=128, depth=4, conservative=False)
+        conservative = CountMinSketch(width=128, depth=4, conservative=True)
+        truth: dict[tuple, int] = {}
+        for key in keys:
+            plain.update(key)
+            conservative.update(key)
+            truth[key] = truth.get(key, 0) + 1
+        err_plain = sum(plain.query(k) - c for k, c in truth.items())
+        err_cons = sum(conservative.query(k) - c for k, c in truth.items())
+        assert err_cons <= err_plain
+
+    def test_heavy_hitters_found(self):
+        cms = CountMinSketch(width=1024, depth=4)
+        for __ in range(900):
+            cms.update(("elephant",))
+        for i in range(100):
+            cms.update((f"mouse{i}",))
+        hh = cms.heavy_hitters([("elephant",), ("mouse1",)], threshold_fraction=0.5)
+        assert hh == [("elephant",)]
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=0)
+        cms = CountMinSketch()
+        with pytest.raises(ValueError):
+            cms.update(("k",), count=0)
+        with pytest.raises(ValueError):
+            cms.heavy_hitters([], threshold_fraction=0.0)
+
+    @given(st.lists(st.integers(0, 50), min_size=1, max_size=300))
+    @settings(max_examples=20, deadline=None)
+    def test_total_conserved(self, keys):
+        cms = CountMinSketch(width=64, depth=3)
+        for k in keys:
+            cms.update((k,))
+        assert cms.total == len(keys)
+
+
+class TestElasticRSS:
+    def _flows(self, n=400, seed=0):
+        rng = np.random.default_rng(seed)
+        return [tuple(int(v) for v in rng.integers(0, 2**32, size=5)) for __ in range(n)]
+
+    def test_deterministic(self):
+        rss = ElasticRSS(n_cores=8)
+        flow = (1, 2, 3, 4, 5)
+        assert rss.select_core(flow) == rss.select_core(flow)
+
+    def test_roughly_uniform(self):
+        rss = ElasticRSS(n_cores=8)
+        counts = np.bincount([rss.select_core(f) for f in self._flows(2000)], minlength=8)
+        assert counts.min() > 0.6 * counts.mean()
+        assert counts.max() < 1.4 * counts.mean()
+
+    def test_disabled_core_gets_nothing(self):
+        rss = ElasticRSS(n_cores=4)
+        rss.set_weight(2, 0.0)
+        cores = {rss.select_core(f) for f in self._flows(500)}
+        assert 2 not in cores
+
+    def test_consistency_on_core_removal(self):
+        """Only flows on the removed core move (rendezvous property)."""
+        rss = ElasticRSS(n_cores=8)
+        flows = self._flows(600)
+        before = {f: rss.select_core(f) for f in flows}
+        rss.set_weight(3, 0.0)
+        moved_from_other = sum(
+            1 for f in flows
+            if before[f] != 3 and rss.select_core(f) != before[f]
+        )
+        assert moved_from_other == 0
+
+    def test_disruption_metric(self):
+        rss = ElasticRSS(n_cores=8)
+        flows = self._flows(400)
+        disruption = rss.disruption_on_change(flows, core=0, new_weight=0.0)
+        assert 0.05 < disruption < 0.25  # ~1/8 of flows move
+
+    def test_weight_scales_share(self):
+        rss = ElasticRSS(n_cores=4)
+        rss.set_weight(0, 3.0)
+        counts = np.bincount([rss.select_core(f) for f in self._flows(3000)], minlength=4)
+        assert counts[0] > 1.5 * counts[1:].mean()
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ElasticRSS(n_cores=0)
+        rss = ElasticRSS(n_cores=2)
+        with pytest.raises(IndexError):
+            rss.set_weight(5, 1.0)
+        with pytest.raises(ValueError):
+            rss.set_weight(0, -1.0)
+
+
+class TestClusterPurity:
+    def test_perfect(self):
+        a = np.array([0, 0, 1, 1])
+        assert cluster_purity(a, a) == 1.0
+
+    def test_mixed(self):
+        assignments = np.array([0, 0, 0, 0])
+        labels = np.array([0, 0, 1, 1])
+        assert cluster_purity(assignments, labels) == 0.5
+
+    def test_shape_check(self):
+        with pytest.raises(ValueError):
+            cluster_purity(np.array([0]), np.array([0, 1]))

@@ -1,0 +1,162 @@
+"""Tests for the baselines: accelerators (Table 2), MAT-only ML, caching."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    ACCELERATORS,
+    CPU_XEON,
+    GPU_T4,
+    TPU_V2,
+    BinarizedDNN,
+    InferenceCache,
+    RuleInstallModel,
+    iisy_mat_cost,
+    n2net_mat_cost,
+    taurus_iso_area_mats,
+    weights_vs_rules_bytes,
+)
+from repro.datasets import dnn_feature_matrix
+from repro.ml import f1_score
+
+
+class TestAccelerators:
+    """Table 2: unbatched inference latency on control-plane hardware."""
+
+    @pytest.mark.parametrize(
+        "model,paper_ms",
+        [(CPU_XEON, 0.67), (GPU_T4, 1.15), (TPU_V2, 3.51)],
+    )
+    def test_batch1_latency(self, model, paper_ms):
+        assert model.latency_ms(1) == pytest.approx(paper_ms, rel=0.02)
+
+    def test_cpu_fastest_unbatched(self):
+        """The paper's point: a plain CPU wins at batch 1."""
+        assert CPU_XEON.latency_ms(1) < GPU_T4.latency_ms(1) < TPU_V2.latency_ms(1)
+
+    def test_batching_amortizes(self):
+        for model in ACCELERATORS.values():
+            assert model.per_item_ms(256) < model.per_item_ms(1)
+
+    def test_first_item_pays_full_batch(self):
+        assert GPU_T4.first_item_latency_ms(256) > GPU_T4.latency_ms(1)
+
+    def test_all_slower_than_taurus_by_orders_of_magnitude(self):
+        taurus_ms = 221e-6  # 221 ns
+        for model in ACCELERATORS.values():
+            assert model.latency_ms(1) / taurus_ms > 1000
+
+    def test_invalid_batch(self):
+        with pytest.raises(ValueError):
+            CPU_XEON.latency_ms(0)
+
+
+class TestMATOnlyCosts:
+    def test_n2net_anomaly_dnn_cost(self):
+        """4-layer BNN needs 48 MATs (Section 5.1.4)."""
+        assert n2net_mat_cost(4).n_mats == 48
+
+    def test_iisy_costs(self):
+        assert iisy_mat_cost("svm").n_mats == 8
+        assert iisy_mat_cost("kmeans").n_mats == 2
+
+    def test_iisy_unknown_model(self):
+        with pytest.raises(ValueError):
+            iisy_mat_cost("transformer")
+
+    def test_taurus_iso_area_much_cheaper(self):
+        """Taurus's block ~ 3 MATs vs N2Net's 48 for the same DNN."""
+        taurus_mats = taurus_iso_area_mats()
+        assert taurus_mats < 3.5
+        assert n2net_mat_cost(4).n_mats / taurus_mats > 10
+
+    def test_mat_cost_area(self):
+        cost = iisy_mat_cost("svm")
+        assert cost.area_mm2() == pytest.approx(8 * 1.953, rel=0.01)
+
+
+class TestBinarizedDNN:
+    def test_runs_and_underperforms_fix8(self, trained_dnn, quantized_dnn, train_test_split):
+        """BNNs work but are imprecise (the paper's critique)."""
+        train, test = train_test_split
+        x = dnn_feature_matrix(test)
+        bnn = BinarizedDNN(trained_dnn)
+        bnn.calibrate(dnn_feature_matrix(train), train.labels)
+        bnn_f1 = f1_score(test.labels, bnn.predict(x))
+        fix8_pred = (quantized_dnn(x).reshape(-1) >= 0.5).astype(np.int64)
+        fix8_f1 = f1_score(test.labels, fix8_pred)
+        assert bnn_f1 < fix8_f1
+        assert bnn_f1 > 0.3  # it does *something*
+
+    def test_mat_cost_matches_layers(self, trained_dnn):
+        bnn = BinarizedDNN(trained_dnn)
+        assert bnn.mat_cost().n_mats == 12 * 4
+
+    def test_outputs_binary(self, trained_dnn):
+        bnn = BinarizedDNN(trained_dnn)
+        preds = bnn.predict(np.random.default_rng(0).normal(size=(20, 6)))
+        assert set(np.unique(preds)) <= {0, 1}
+
+
+class TestRuleInstall:
+    def test_base_latency(self):
+        assert RuleInstallModel().latency_ms(0) == pytest.approx(3.0)
+
+    def test_grows_with_occupancy(self):
+        model = RuleInstallModel()
+        assert model.latency_ms(10_000) > model.latency_ms(100)
+
+    def test_negative_occupancy(self):
+        with pytest.raises(ValueError):
+            RuleInstallModel().latency_ms(-1)
+
+
+class TestInferenceCache:
+    def test_miss_then_hit(self):
+        cache = InferenceCache()
+        features = np.array([1.0, 2.0])
+        decision, __ = cache.lookup(features)
+        assert decision is None
+        cache.fill(features, 1)
+        decision, __ = cache.lookup(features)
+        assert decision == 1
+        assert cache.hit_rate == 0.5
+
+    def test_miss_penalty_includes_all_stages(self):
+        cache = InferenceCache()
+        penalty = cache.miss_penalty_ms()
+        assert penalty > cache.accelerator.latency_ms(1)
+        assert penalty > cache.install.latency_ms(0)
+
+    def test_eviction_at_capacity(self):
+        cache = InferenceCache(capacity=2)
+        for i in range(3):
+            cache.fill(np.array([float(i)]), 0)
+        assert len(cache.rules) == 2
+        assert cache.evictions == 1
+
+    def test_varying_inputs_defeat_caching(self):
+        """The Section 2.2 argument: continuous features -> constant misses."""
+        rng = np.random.default_rng(0)
+        cache = InferenceCache()
+        misses = 0
+        for __ in range(200):
+            features = rng.normal(size=4)
+            decision, __lat = cache.lookup(features)
+            if decision is None:
+                misses += 1
+                cache.fill(features, 0)
+        assert misses == 200  # every distinct input misses
+
+
+class TestWeightsVsRules:
+    def test_paper_ratio_magnitude(self):
+        """Weights beat rules by ~3 orders of magnitude (Section 3)."""
+        weight_bytes = 187  # anomaly DNN at 8 bits
+        __, rules, ratio = weights_vs_rules_bytes(weight_bytes, n_distinct_inputs=12_000)
+        assert rules > 500_000
+        assert ratio > 1000
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            weights_vs_rules_bytes(0, 10)

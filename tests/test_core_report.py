@@ -1,0 +1,55 @@
+"""Tests for the report-rendering helpers and device config."""
+
+import os
+
+import pytest
+
+from repro.core import TaurusConfig, render_table, series_to_text, write_result
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        out = render_table("T", ["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bb" in lines[2]
+        assert len(lines) == 6
+
+    def test_float_formatting(self):
+        out = render_table("T", ["x"], [[0.123456], [12345.6], [0.0001]])
+        assert "0.123" in out
+        assert "1.23e+04" in out or "12345" in out.replace(",", "")
+
+    def test_empty_rows(self):
+        out = render_table("T", ["a"], [])
+        assert "a" in out
+
+
+class TestWriteResult:
+    def test_writes_file(self, tmp_path):
+        path = write_result("unit_test_table", "hello", results_dir=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as fh:
+            assert fh.read() == "hello\n"
+
+    def test_series_to_text(self):
+        out = series_to_text("fig", {"a": [(1.0, 2.0), (3.0, 4.0)]})
+        assert "# series: a" in out
+        assert "1\t2" in out
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        cfg = TaurusConfig()
+        assert cfg.geometry.lanes == 16
+        assert cfg.geometry.stages == 4
+        assert cfg.geometry.precision == "fix8"
+        assert (cfg.n_cus, cfg.n_mus) == (90, 30)
+
+    def test_custom_grid(self):
+        cfg = TaurusConfig(grid_rows=8, grid_cols=8)
+        assert cfg.n_cus + cfg.n_mus == 64
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TaurusConfig(grid_rows=0)

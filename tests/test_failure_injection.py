@@ -1,0 +1,128 @@
+"""Failure-injection and robustness tests.
+
+The paper argues the data plane must stay correct under hostile or
+degenerate conditions; these tests stress the substrates the same way:
+saturating inputs, adversarial flows, register collisions, queue overflow,
+and mid-stream weight swaps.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets import DNN_FEATURES
+from repro.fixpoint import FIX8
+from repro.hw import MapReduceBlock
+from repro.mapreduce import dnn_graph
+from repro.pisa import (
+    FlowFeatureAccumulator,
+    Packet,
+    PacketQueue,
+    TaurusPipeline,
+)
+
+
+class TestSaturatingInputs:
+    def test_extreme_features_never_crash(self, quantized_dnn):
+        """Adversarial feature values saturate cleanly, never overflow."""
+        graph = dnn_graph(quantized_dnn)
+        for value in (1e9, -1e9, 0.0, np.inf, -np.inf):
+            features = np.full(6, np.nan_to_num(value))
+            out = graph.execute(features)
+            assert np.all(np.isfinite(out))
+            assert 0.0 <= float(out[0]) <= 1.0  # sigmoid output range
+
+    def test_fixed_point_saturation_is_total(self, quantized_dnn):
+        """Every representable input maps to a valid score (no wrap)."""
+        graph = dnn_graph(quantized_dnn)
+        rng = np.random.default_rng(0)
+        for __ in range(50):
+            features = rng.uniform(FIX8.min_value, FIX8.max_value, size=6)
+            out = graph.execute(features)
+            assert 0.0 <= float(out[0]) <= 1.0
+
+
+class TestPipelineRobustness:
+    def _pipeline(self, quantized_dnn):
+        block = MapReduceBlock(dnn_graph(quantized_dnn))
+        return TaurusPipeline(block=block, feature_names=DNN_FEATURES)
+
+    def test_missing_features_handled(self, quantized_dnn):
+        """Packets without a feature payload still transit (zeros)."""
+        pipe = self._pipeline(quantized_dnn)
+        packet = Packet(headers={"protocol": 0}, payload_len=10)
+        result = pipe.process(packet)
+        assert result.ml_score is not None
+
+    def test_malformed_protocol(self, quantized_dnn):
+        pipe = self._pipeline(quantized_dnn)
+        packet = Packet(headers={"protocol": 255}, payload_len=10,
+                        features=np.zeros(6))
+        result = pipe.process(packet)  # unknown protocol -> default parse
+        assert result.decision in (0, 1, 2)
+
+    def test_flow_register_collision_storm(self):
+        """Millions of flows over a small register array degrade gracefully
+        (aggregates are approximate, never crash)."""
+        acc = FlowFeatureAccumulator(slots=64)
+        rng = np.random.default_rng(1)
+        for i in range(2000):
+            key = tuple(int(v) for v in rng.integers(0, 2**32, size=5))
+            aggregates = acc.update(key, size_bytes=100, urgent=False, now_s=i * 1e-6)
+            assert aggregates["flow_pkts"] >= 1
+
+    def test_queue_overflow_drops_not_crashes(self):
+        queue = PacketQueue("q", capacity=4)
+        for i in range(10):
+            queue.push(i)
+        assert queue.drops == 6
+        assert len(queue) == 4
+
+
+class TestWeightSwapUnderTraffic:
+    def test_mid_stream_reconfigure(self, quantized_dnn, trained_dnn, train_test_split):
+        """Weight updates swap atomically between packets; scores stay valid
+        before and after (the Section 5.2.3 update path)."""
+        from repro.datasets import dnn_feature_matrix
+        from repro.fixpoint import quantize_model
+
+        train, __ = train_test_split
+        block = MapReduceBlock(dnn_graph(quantized_dnn))
+        x = dnn_feature_matrix(train)[:20]
+        before = [float(block.process(row).value[0]) for row in x[:10]]
+        # Retrain briefly and push new weights.
+        trained_dnn.fit(dnn_feature_matrix(train)[:500], train.labels[:500], epochs=1)
+        new_q = quantize_model(trained_dnn, dnn_feature_matrix(train)[:128])
+        block.reconfigure(dnn_graph(new_q))
+        after = [float(block.process(row).value[0]) for row in x[10:]]
+        for score in before + after:
+            assert 0.0 <= score <= 1.0
+
+
+class TestDegenerateWorkloads:
+    def test_all_benign_trace(self):
+        from repro.datasets import expand_to_packets, generate_connections
+        from repro.testbed import ControlPlaneBaseline
+        from repro.ml import anomaly_detection_dnn
+
+        ds = generate_connections(200, anomaly_fraction=0.0, seed=3)
+        trace = expand_to_packets(ds, max_packets=2000, seed=3)
+        model = anomaly_detection_dnn(seed=0)  # untrained
+        result = ControlPlaneBaseline(model=model, seed=0).run(trace, 1e-2)
+        assert result.detected_percent == 0.0  # nothing to detect
+
+    def test_all_anomalous_trace(self, quantized_dnn):
+        from repro.datasets import expand_to_packets, generate_connections
+        from repro.testbed import TaurusDataPlane
+
+        ds = generate_connections(200, anomaly_fraction=1.0, seed=4)
+        trace = expand_to_packets(ds, max_packets=2000, seed=4)
+        result = TaurusDataPlane(quantized_dnn).run(trace)
+        assert result.n_packets == len(trace.packets)
+        assert 0.0 <= result.detected_percent <= 100.0
+
+    def test_single_packet_trace(self):
+        from repro.datasets import expand_to_packets, generate_connections
+
+        ds = generate_connections(5, seed=5)
+        trace = expand_to_packets(ds, max_packets=1, seed=5)
+        assert len(trace) == 1

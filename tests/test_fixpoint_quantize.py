@@ -1,0 +1,110 @@
+"""Tests for post-training quantization (the Table 3 machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.datasets import dnn_feature_matrix
+from repro.fixpoint import (
+    FixTensor,
+    QuantizedLinear,
+    choose_frac_bits,
+    format_for_range,
+    quantize_model,
+)
+from repro.ml import accuracy, f1_score
+from repro.ml.dnn import DNN
+
+
+class TestChooseFracBits:
+    def test_small_values_get_more_frac_bits(self):
+        assert choose_frac_bits(np.array([0.1, -0.2]), 8) > choose_frac_bits(
+            np.array([5.0, -6.0]), 8
+        )
+
+    def test_zero_input(self):
+        assert choose_frac_bits(np.zeros(4), 8) == 7
+
+    def test_coverage_no_saturation(self):
+        values = np.array([3.7, -2.1])
+        fmt = format_for_range(values, 8)
+        assert fmt.max_value >= 3.7 or fmt.roundtrip(3.7) == pytest.approx(
+            3.7, abs=fmt.resolution
+        )
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    def test_peak_always_representable(self, peak):
+        fmt = format_for_range(np.array([peak]), 8)
+        # Within one resolution step of the peak (may clip to max_value).
+        assert fmt.roundtrip(peak) >= peak - fmt.resolution - peak * 0.01
+
+
+class TestQuantizedLinear:
+    def _layer(self, act="relu"):
+        fmt = format_for_range(np.array([4.0]), 8)
+        return QuantizedLinear(
+            weights=FixTensor.from_float([[1.0, -1.0]], fmt),
+            bias=FixTensor.from_float([0.5], fmt),
+            activation=act,
+            in_fmt=fmt,
+            act_fmt=fmt,
+        )
+
+    def test_linear_math(self):
+        layer = self._layer("linear")
+        out = layer(np.array([1.0, 0.5]))
+        assert out[0, 0] == pytest.approx(1.0, abs=0.1)
+
+    def test_relu_clamps(self):
+        layer = self._layer("relu")
+        out = layer(np.array([-2.0, 2.0]))  # 1*-2 + -1*2 + 0.5 = -3.5 -> 0
+        assert out[0, 0] == 0.0
+
+    def test_unknown_activation_rejected(self):
+        layer = self._layer("linear")
+        layer.activation = "swish"
+        with pytest.raises(ValueError):
+            layer(np.array([1.0, 1.0]))
+
+
+class TestQuantizeModel:
+    def test_fix8_accuracy_close_to_float(self, trained_dnn, train_test_split):
+        """The Table 3 headline: fix8 loses almost no accuracy."""
+        __, test = train_test_split
+        x = dnn_feature_matrix(test)
+        qmodel = quantize_model(trained_dnn, x[:256])
+        float_pred = trained_dnn.predict(x)
+        quant_pred = (qmodel(x).reshape(-1) >= 0.5).astype(np.int64)
+        float_f1 = f1_score(test.labels, float_pred)
+        quant_f1 = f1_score(test.labels, quant_pred)
+        assert abs(float_f1 - quant_f1) < 0.02
+
+    def test_agreement_rate_high(self, trained_dnn, quantized_dnn, train_test_split):
+        __, test = train_test_split
+        x = dnn_feature_matrix(test)
+        float_pred = trained_dnn.predict(x)
+        quant_pred = (quantized_dnn(x).reshape(-1) >= 0.5).astype(np.int64)
+        # 8-bit resolution flips a few near-threshold scores; label-level
+        # agreement stays high and F1 parity (previous test) is preserved.
+        assert accuracy(float_pred, quant_pred) > 0.88
+
+    def test_weight_bytes(self, quantized_dnn):
+        # 6->12->6->3->1 network: 187 parameters at 1 byte each.
+        assert quantized_dnn.weight_bytes == 187
+
+    def test_wider_formats_reduce_error(self, trained_dnn, train_test_split):
+        __, test = train_test_split
+        x = dnn_feature_matrix(test)[:200]
+        ref = trained_dnn.forward(x).reshape(-1)
+        err8 = np.abs(quantize_model(trained_dnn, x, 8)(x).reshape(-1) - ref).mean()
+        err16 = np.abs(quantize_model(trained_dnn, x, 16)(x).reshape(-1) - ref).mean()
+        assert err16 <= err8
+
+    def test_predict_multiclass(self):
+        model = DNN([4, 8, 3], output="softmax", seed=0)
+        x = np.random.default_rng(0).normal(size=(50, 4))
+        y = (x[:, 0] > 0).astype(int) + (x[:, 1] > 0).astype(int)
+        model.fit(x, y, epochs=10)
+        q = quantize_model(model, x)
+        agreement = np.mean(q.predict(x) == model.predict(x))
+        assert agreement > 0.9

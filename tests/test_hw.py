@@ -1,0 +1,237 @@
+"""Tests for the hardware models: area/power anchors, CU/MU, grid, ASIC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fixpoint import FIX8, FixTensor
+from repro.hw import (
+    BankConflictError,
+    ComputeUnit,
+    CUGeometry,
+    MapReduceBlock,
+    MemoryUnit,
+    SwitchChipParams,
+    TaurusChip,
+    cu_area_mm2,
+    cu_power_mw,
+    fu_area_um2,
+    fu_power_uw,
+    grid_area_mm2,
+    grid_composition,
+    grid_power_mw,
+    mu_area_mm2,
+)
+from repro.mapreduce import inner_product_graph
+
+
+class TestTable4Anchors:
+    """Per-FU area/power by precision — exact paper values (Table 4)."""
+
+    @pytest.mark.parametrize(
+        "precision,area,power",
+        [("fix8", 670, 456), ("fix16", 1338, 887), ("fix32", 2949, 2341)],
+    )
+    def test_per_fu(self, precision, area, power):
+        geom = CUGeometry(16, 4, precision)
+        assert fu_area_um2(geom) == pytest.approx(area, rel=0.01)
+        assert fu_power_uw(geom) == pytest.approx(power, rel=0.01)
+
+    def test_precision_scaling_factors(self):
+        a8 = fu_area_um2(CUGeometry(16, 4, "fix8"))
+        a16 = fu_area_um2(CUGeometry(16, 4, "fix16"))
+        a32 = fu_area_um2(CUGeometry(16, 4, "fix32"))
+        assert a16 / a8 == pytest.approx(2.0, rel=0.05)
+        assert a32 / a8 == pytest.approx(4.4, rel=0.05)
+
+
+class TestFig9Scaling:
+    def test_area_decreases_with_lanes(self):
+        areas = [fu_area_um2(CUGeometry(l, 4)) for l in (4, 8, 16, 32)]
+        assert areas == sorted(areas, reverse=True)
+
+    def test_power_decreases_with_lanes(self):
+        powers = [fu_power_uw(CUGeometry(l, 4)) for l in (4, 8, 16, 32)]
+        assert powers == sorted(powers, reverse=True)
+
+    def test_fig9_range(self):
+        """4-lane point near 1.5k um^2, 32-lane near 0.5k (Fig. 9a)."""
+        assert 1300 < fu_area_um2(CUGeometry(4, 4)) < 1700
+        assert 450 < fu_area_um2(CUGeometry(32, 4)) < 600
+
+
+class TestBlockAnchors:
+    def test_cu_area(self):
+        assert cu_area_mm2() == pytest.approx(0.044, abs=0.001)
+
+    def test_mu_area(self):
+        assert mu_area_mm2() == pytest.approx(0.029, abs=0.001)
+
+    def test_grid_area(self):
+        assert grid_area_mm2() == pytest.approx(4.8, abs=0.1)
+
+    def test_grid_composition(self):
+        assert grid_composition() == (90, 30)
+
+    def test_area_overhead_percent(self):
+        chip = TaurusChip()
+        report = chip.grid_overheads()
+        assert report.area_percent == pytest.approx(3.8, abs=0.15)
+
+    def test_power_overhead_percent(self):
+        chip = TaurusChip()
+        report = chip.grid_overheads()
+        assert report.power_percent == pytest.approx(2.8, abs=0.2)
+
+    def test_iso_area_mats(self):
+        """One block displaces ~3 MATs (Section 5.1.1)."""
+        assert TaurusChip().iso_area_mats() == pytest.approx(2.5, abs=0.6)
+
+    def test_die_growth(self):
+        assert TaurusChip().added_die_area_percent() == pytest.approx(3.8, abs=0.2)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            CUGeometry(0, 4)
+        with pytest.raises(ValueError):
+            CUGeometry(16, 4, "fix64")
+
+
+class TestComputeUnit:
+    def test_dot_matches_fixtensor(self):
+        cu = ComputeUnit()
+        x = FixTensor.from_float(np.linspace(-1, 1, 16), FIX8)
+        w = FixTensor.from_float(np.linspace(1, -1, 16), FIX8)
+        result = cu.dot(x, w)
+        assert result.value.raw[0] == x.dot(w).raw
+
+    def test_dot_cycle_count(self):
+        cu = ComputeUnit()
+        x = FixTensor.from_float(np.ones(16), FIX8)
+        result = cu.dot(x, x)
+        assert result.cycles == 5  # 1 map + 4-cycle reduce tree
+
+    def test_map_chain(self):
+        cu = ComputeUnit(map_chain=[("mul", 2.0), ("add", 1.0)])
+        out = cu.execute(FixTensor.from_float([1.0, -1.0], FIX8))
+        assert out.value.to_float().tolist() == [3.0, -1.0]
+        assert out.stages_used == 2
+
+    def test_chain_too_long_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(map_chain=[("add", 1.0)] * 5)  # 5 > 4 stages
+
+    def test_vector_too_wide_rejected(self):
+        cu = ComputeUnit()
+        with pytest.raises(ValueError):
+            cu.execute(FixTensor.from_float(np.ones(17), FIX8))
+
+    def test_map_reduce_combo(self):
+        cu = ComputeUnit(map_chain=[("mul", 2.0)], reduce_op="sum")
+        out = cu.execute(FixTensor.from_float([1.0, 2.0], FIX8))
+        assert out.value.to_float()[0] == pytest.approx(6.0)
+
+    def test_unknown_ops_rejected(self):
+        with pytest.raises(ValueError):
+            ComputeUnit(map_chain=[("frobnicate", None)])
+        with pytest.raises(ValueError):
+            ComputeUnit(reduce_op="median")
+
+    def test_utilization_tracking(self):
+        cu = ComputeUnit(map_chain=[("add", 0.0)])
+        assert cu.utilization == 0.0
+        cu.execute(FixTensor.from_float([1.0], FIX8))
+        assert cu.utilization > 0.0
+
+
+class TestMemoryUnit:
+    def test_capacity(self):
+        mu = MemoryUnit()
+        assert mu.capacity_values == 16384
+        assert mu.capacity_bytes == 16384
+
+    def test_load_read_roundtrip(self):
+        mu = MemoryUnit()
+        values = np.linspace(-4, 4, 32)
+        mu.load(values)
+        tensor, cycles = mu.read_vector(0, 16)
+        assert cycles == 1  # single-cycle SRAM (Section 4)
+        assert np.allclose(tensor.to_float(), FIX8.roundtrip(values[:16]))
+
+    def test_overflow_rejected(self):
+        mu = MemoryUnit()
+        with pytest.raises(ValueError):
+            mu.load(np.zeros(20000))
+
+    def test_wide_read_conflicts(self):
+        mu = MemoryUnit(banks=4)
+        mu.load(np.ones(16))
+        with pytest.raises(BankConflictError):
+            mu.read_vector(0, 5)  # 5 consecutive addrs over 4 banks collide
+
+    def test_lookup_clamps(self):
+        mu = MemoryUnit()
+        mu.load(np.linspace(0, 1, 64))
+        low, __ = mu.lookup(0, 64, -5)
+        high, __ = mu.lookup(0, 64, 999)
+        assert low.to_float()[0] == pytest.approx(0.0, abs=1 / 16)
+        assert high.to_float()[0] == pytest.approx(1.0, abs=1 / 16)
+
+    def test_read_beyond_capacity(self):
+        mu = MemoryUnit()
+        with pytest.raises(ValueError):
+            mu.read_vector(16380, 16)
+
+    @given(st.integers(1, 16), st.integers(0, 100))
+    @settings(max_examples=25, deadline=None)
+    def test_striping_conflict_free_up_to_banks(self, width, base):
+        mu = MemoryUnit(banks=16)
+        tensor, cycles = mu.read_vector(base, width)
+        assert cycles == 1
+        assert tensor.size == width
+
+
+class TestMapReduceBlock:
+    def test_process_returns_latency(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        result = block.process(np.ones(16))
+        assert result.latency_ns == pytest.approx(23, abs=1)
+
+    def test_line_rate_no_stall(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        first = block.process(np.ones(16), at_cycle=0)
+        second = block.process(np.ones(16), at_cycle=1)
+        assert first.latency_ns == second.latency_ns  # II = 1: no stall
+
+    def test_folded_block_stalls(self):
+        from repro.mapreduce import conv1d_graph
+
+        block = MapReduceBlock(conv1d_graph(unroll=1))  # II = 8
+        block.process(np.ones(9), at_cycle=0)
+        result = block.process(np.ones(9), at_cycle=1)
+        assert result.latency_ns > block.design.latency_ns  # queued 7 cycles
+
+    def test_reconfigure_swaps_program(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        old_latency = block.latency_ns
+        from repro.mapreduce import activation_graph
+
+        block.reconfigure(activation_graph("tanh_exp"))
+        assert block.latency_ns != old_latency
+
+    def test_process_batch(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        out = block.process_batch(np.ones((5, 16)))
+        assert out.shape == (5, 1)
+
+
+class TestSwitchChipParams:
+    def test_mat_area(self):
+        chip = SwitchChipParams()
+        # 50% of 500 mm^2 over 128 MATs.
+        assert chip.mat_area_mm2 == pytest.approx(1.953, abs=0.01)
+
+    def test_pipeline_shares(self):
+        chip = SwitchChipParams()
+        assert chip.pipeline_area_mm2 == 125.0
+        assert chip.pipeline_power_w == 67.5

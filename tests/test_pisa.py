@@ -1,0 +1,327 @@
+"""Tests for the PISA switch substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.pisa import (
+    MAX_OPS_PER_STAGE,
+    Action,
+    FlowFeatureAccumulator,
+    LogTransformTable,
+    MatchActionTable,
+    MatchKind,
+    PIFO,
+    Packet,
+    PacketQueue,
+    PortLikelihoodTable,
+    Primitive,
+    RegisterArray,
+    RoundRobinArbiter,
+    StandardizeTable,
+    TableEntry,
+    default_layout,
+    default_parser,
+)
+from repro.pisa.phv import PHV, PHVLayout
+
+
+def _phv(**values):
+    layout = default_layout(("f0", "f1"))
+    phv = PHV(layout)
+    for k, v in values.items():
+        phv.set(k, v)
+    return phv
+
+
+class TestPHV:
+    def test_layout_rejects_duplicates(self):
+        with pytest.raises(ValueError):
+            PHVLayout(fields=(("a", 8), ("a", 8)))
+
+    def test_layout_rejects_unknown_features(self):
+        with pytest.raises(ValueError):
+            PHVLayout(fields=(("a", 8),), feature_fields=("b",))
+
+    def test_header_fields_masked_to_width(self):
+        phv = _phv()
+        phv.set("protocol", 0x1FF)  # 8-bit field
+        assert phv.get("protocol") == 0xFF
+
+    def test_feature_vector_quantized(self):
+        phv = _phv()
+        phv.set_features(np.array([0.26, -100.0]))
+        vec = phv.feature_vector()
+        assert vec[0] == pytest.approx(0.25)  # fix8 roundtrip
+        assert vec[1] == -8.0                 # clipped to format range
+
+    def test_set_features_length_check(self):
+        phv = _phv()
+        with pytest.raises(ValueError):
+            phv.set_features(np.zeros(3))
+
+    def test_unknown_field_raises(self):
+        phv = _phv()
+        with pytest.raises(KeyError):
+            phv.get("no_such_field")
+
+
+class TestParser:
+    def test_tcp_path_extracts_ports(self):
+        layout = default_layout(("f0",))
+        parser = default_parser(layout)
+        packet = Packet(headers={"protocol": 0, "src_port": 1234, "dst_port": 80,
+                                 "urgent_flag": 1, "src_ip": 1, "dst_ip": 2, "seq": 9})
+        phv = parser.parse(packet)
+        assert phv.get("src_port") == 1234
+        assert phv.get("urgent_flag") == 1
+
+    def test_udp_path_skips_tcp_fields(self):
+        layout = default_layout(("f0",))
+        parser = default_parser(layout)
+        packet = Packet(headers={"protocol": 1, "src_port": 53, "urgent_flag": 1})
+        phv = parser.parse(packet)
+        assert phv.get("src_port") == 53
+        assert phv.get("urgent_flag") == 0  # not extracted on the UDP path
+
+    def test_unknown_protocol_takes_default(self):
+        layout = default_layout(("f0",))
+        parser = default_parser(layout)
+        phv = parser.parse(Packet(headers={"protocol": 7}))
+        assert phv.get("src_port") == 0
+
+    def test_payload_len_recorded(self):
+        layout = default_layout(("f0",))
+        parser = default_parser(layout)
+        phv = parser.parse(Packet(headers={"protocol": 0}, payload_len=777))
+        assert phv.get("payload_len") == 777
+
+    def test_bad_transition_target_rejected(self):
+        from repro.pisa import ParseState, Parser
+
+        with pytest.raises(ValueError):
+            Parser(
+                default_layout(("f0",)),
+                {"start": ParseState(name="start", default_next="nowhere")},
+            )
+
+
+class TestActions:
+    def test_vliw_width_enforced(self):
+        prims = [Primitive("ml_score", lambda phv: 1.0)] * (MAX_OPS_PER_STAGE + 1)
+        with pytest.raises(ValueError):
+            Action("too_wide", prims)
+
+    def test_vliw_reads_before_writes(self):
+        """All slots see the pre-action PHV (true VLIW semantics)."""
+        phv = _phv(ml_score=5)
+        action = Action(
+            "swapish",
+            [
+                Primitive("ml_score", lambda p: p.get("decision") + 1),
+                Primitive("decision", lambda p: p.get("ml_score") % 4),
+            ],
+        )
+        action.apply(phv)
+        assert phv.get("ml_score") == 1   # old decision (0) + 1
+        assert phv.get("decision") == 1   # old score (5) % 4
+
+    def test_set_const_helper(self):
+        phv = _phv()
+        Action.set_const("drop", "decision", 2).apply(phv)
+        assert phv.get("decision") == 2
+
+
+class TestMAT:
+    def _table(self, kind=MatchKind.EXACT):
+        return MatchActionTable(
+            name="t", key_fields=("dst_port",), kind=kind, max_entries=4
+        )
+
+    def test_exact_match_hit(self):
+        table = self._table()
+        table.install(TableEntry({"dst_port": 80}, Action.set_const("f", "decision", 1)))
+        phv = _phv(dst_port=80)
+        table.apply(phv)
+        assert phv.get("decision") == 1
+        assert table.entries[0].hits == 1
+
+    def test_miss_uses_default(self):
+        table = self._table()
+        phv = _phv(dst_port=22)
+        table.apply(phv)
+        assert table.misses == 1
+
+    def test_capacity_enforced(self):
+        table = self._table()
+        for port in range(4):
+            table.install(TableEntry({"dst_port": port}, Action.noop()))
+        with pytest.raises(RuntimeError):
+            table.install(TableEntry({"dst_port": 99}, Action.noop()))
+
+    def test_non_key_field_rejected(self):
+        table = self._table()
+        with pytest.raises(ValueError):
+            table.install(TableEntry({"src_port": 1}, Action.noop()))
+
+    def test_ternary_priority(self):
+        table = MatchActionTable(
+            name="t", key_fields=("dst_port",), kind=MatchKind.TERNARY
+        )
+        table.install(
+            TableEntry({"dst_port": (0, 0)}, Action.set_const("lo", "decision", 1), priority=1)
+        )
+        table.install(
+            TableEntry({"dst_port": (80, 0xFFFF)}, Action.set_const("hi", "decision", 2), priority=10)
+        )
+        phv = _phv(dst_port=80)
+        table.apply(phv)
+        assert phv.get("decision") == 2  # higher priority wins
+
+    def test_lpm(self):
+        table = MatchActionTable(name="t", key_fields=("src_ip",), kind=MatchKind.LPM)
+        table.install(
+            TableEntry({"src_ip": (0x0A000000, 8)}, Action.set_const("n", "decision", 1))
+        )
+        hit = _phv(src_ip=0x0A01FFFF)
+        table.apply(hit)
+        assert hit.get("decision") == 1
+        miss = _phv(src_ip=0x0B000000)
+        table.apply(miss)
+        assert miss.get("decision") == 0
+
+    def test_range(self):
+        table = MatchActionTable(name="t", key_fields=("dst_port",), kind=MatchKind.RANGE)
+        table.install(
+            TableEntry({"dst_port": (1024, 2048)}, Action.set_const("e", "decision", 1))
+        )
+        inside = _phv(dst_port=1500)
+        table.apply(inside)
+        assert inside.get("decision") == 1
+
+    def test_remove_all(self):
+        table = self._table()
+        table.install(TableEntry({"dst_port": 1}, Action.noop()))
+        assert table.remove_all() == 1
+        assert table.occupancy == 0
+
+
+class TestRegisters:
+    def test_saturating_add(self):
+        reg = RegisterArray(size=8, width_bits=4)
+        key = (1, 2, 3, 4, 5)
+        for __ in range(100):
+            reg.add(key)
+        assert reg.read(key) == 15  # saturates at 2^4 - 1
+
+    def test_deterministic_indexing(self):
+        reg = RegisterArray(size=1024)
+        key = (10, 20, 30, 40, 50)
+        assert reg.index_of(key) == reg.index_of(key)
+
+    def test_flow_accumulator(self):
+        acc = FlowFeatureAccumulator(slots=256)
+        key = (1, 2, 3, 4, 6)
+        first = acc.update(key, size_bytes=100, urgent=True, now_s=1.0)
+        second = acc.update(key, size_bytes=200, urgent=False, now_s=1.5)
+        assert first["flow_pkts"] == 1
+        assert second["flow_pkts"] == 2
+        assert second["flow_bytes"] == 300
+        assert second["flow_urgent"] == 1
+        assert second["flow_duration_ms"] == 500
+
+    def test_collisions_possible_with_small_array(self):
+        reg = RegisterArray(size=2)
+        keys = [(i, 0, 0, 0, 0) for i in range(20)]
+        indices = {reg.index_of(k) for k in keys}
+        assert indices <= {0, 1}
+
+
+class TestLookupTables:
+    def test_port_likelihood_learning(self):
+        ports = np.array([80, 80, 80, 4444, 4444])
+        labels = np.array([0, 0, 0, 1, 1])
+        table = PortLikelihoodTable.from_traffic(ports, labels)
+        assert table.lookup(80) == 0.0
+        assert table.lookup(4444) == 1.0
+        assert table.lookup(9999) == 0.5  # default prior
+
+    def test_log_transform_accuracy(self):
+        table = LogTransformTable()
+        values = np.logspace(0, 6, 50)
+        assert table.error_vs_exact(values) < 0.09  # linear-in-segment bound
+
+    def test_log_transform_below_one(self):
+        assert LogTransformTable().lookup(0.5) == 0.5
+
+    def test_standardize_fit_apply(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(5.0, 2.0, size=(500, 3))
+        table = StandardizeTable.fit(x)
+        out = table.apply(x)
+        assert np.allclose(out.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(out.std(axis=0), 1.0, atol=1e-9)
+
+    def test_standardize_rejects_zero_scale(self):
+        with pytest.raises(ValueError):
+            StandardizeTable(means=np.zeros(2), scales=np.array([1.0, 0.0]))
+
+
+class TestScheduler:
+    def test_pifo_orders_by_rank(self):
+        pifo = PIFO()
+        pifo.push("low", rank=10.0)
+        pifo.push("high", rank=1.0)
+        assert pifo.pop() == "high"
+        assert pifo.pop() == "low"
+
+    def test_pifo_fifo_on_ties(self):
+        pifo = PIFO()
+        for i in range(5):
+            pifo.push(i, rank=0.0)
+        assert [pifo.pop() for __ in range(5)] == [0, 1, 2, 3, 4]
+
+    def test_pifo_tail_drop(self):
+        pifo = PIFO(capacity=2)
+        assert pifo.push("a", 1.0)
+        assert pifo.push("b", 1.0)
+        assert not pifo.push("c", 1.0)
+        assert pifo.drops == 1
+
+    def test_pifo_empty_pop(self):
+        with pytest.raises(IndexError):
+            PIFO().pop()
+
+    def test_queue_watermark(self):
+        q = PacketQueue("q", capacity=10)
+        for i in range(7):
+            q.push(i)
+        q.pop()
+        assert q.high_watermark == 7
+
+    def test_round_robin_interleaves(self):
+        a = PacketQueue("a")
+        b = PacketQueue("b")
+        for i in range(3):
+            a.push(f"a{i}")
+            b.push(f"b{i}")
+        arb = RoundRobinArbiter([a, b])
+        order = arb.drain()
+        assert order == ["a0", "b0", "a1", "b1", "a2", "b2"]
+
+    def test_round_robin_skips_empty(self):
+        a = PacketQueue("a")
+        b = PacketQueue("b")
+        b.push("only")
+        arb = RoundRobinArbiter([a, b])
+        assert arb.select() == "only"
+        assert arb.select() is None
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=50))
+    @settings(max_examples=25, deadline=None)
+    def test_pifo_pop_order_is_sorted(self, ranks):
+        pifo = PIFO()
+        for r in ranks:
+            pifo.push(r, rank=r)
+        popped = [pifo.pop() for __ in range(len(ranks))]
+        assert popped == sorted(popped)
