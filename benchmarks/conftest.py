@@ -1,10 +1,17 @@
 """Shared benchmark fixtures: trained models and workloads (session-scoped).
 
 Each benchmark regenerates one of the paper's tables or figures, printing
-the rows and writing them under ``results/``.
+the rows and writing them under ``results/``.  Perf-trajectory numbers
+(packets/sec and friends) go through the :func:`bench_json` knob, which
+persists them as ``BENCH_<name>.json`` at the repo root so successive PRs
+can diff throughput.
 """
 
 from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -14,11 +21,41 @@ from repro.fixpoint import quantize_model
 from repro.ml import anomaly_detection_dnn
 from repro.testbed import EndToEndExperiment
 
+#: Where BENCH_*.json perf records land (repo root, next to ROADMAP.md);
+#: override with TAURUS_BENCH_DIR.
+BENCH_DIR = Path(os.environ.get("TAURUS_BENCH_DIR", Path(__file__).resolve().parent.parent))
+
 
 def pytest_configure(config):
     # Benchmarks print their tables; -s is not required because we also
     # persist everything under results/.
     pass
+
+
+@pytest.fixture(scope="session")
+def bench_json():
+    """Record perf numbers for the trajectory: ``record(name, payload)``.
+
+    Each named payload is merged (later records win key-by-key) and written
+    to ``BENCH_<name>.json`` when the session ends, so a smoke run and an
+    opt-in ``--runbench`` run update the same file.
+    """
+    records: dict[str, dict] = {}
+
+    def record(name: str, payload: dict) -> None:
+        records.setdefault(name, {}).update(payload)
+
+    yield record
+    for name, payload in records.items():
+        path = BENCH_DIR / f"BENCH_{name}.json"
+        merged: dict = {}
+        if path.exists():
+            try:
+                merged = json.loads(path.read_text())
+            except (ValueError, OSError):
+                merged = {}
+        merged.update(payload)
+        path.write_text(json.dumps(merged, indent=2, sort_keys=True) + "\n")
 
 
 @pytest.fixture(scope="session")

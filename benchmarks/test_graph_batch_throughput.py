@@ -1,0 +1,103 @@
+"""Scalar vs batched execution of the CGRA dataflow graph.
+
+Not a paper table: this records the *simulator's* throughput so the repo's
+perf trajectory is visible across PRs.  The scalar interpreter walks the
+graph once per packet in Python; the batched interpreter
+(:meth:`DataflowGraph.execute_batch`) streams a ``(B, D)`` block through
+the same nodes in one pass.  The smoke variant runs in tier-1; the full
+150k-packet variant is opt-in via ``--runbench``.  Both update
+``BENCH_graph_batch.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import render_table, write_result
+from repro.mapreduce import dnn_graph
+from repro.testbed.dataplane import DEFAULT_CHUNK_SIZE
+
+
+def _measure(graph, feats: np.ndarray, scalar_sample: int) -> dict:
+    """Packets/sec: scalar loop (sampled) vs the chunked streamed pass."""
+    sample = feats[:scalar_sample]
+    t0 = time.perf_counter()
+    scalar_out = np.stack([graph.execute(row) for row in sample])
+    scalar_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    batch_out = np.concatenate(
+        [
+            graph.execute_batch(feats[start : start + DEFAULT_CHUNK_SIZE])
+            for start in range(0, len(feats), DEFAULT_CHUNK_SIZE)
+        ]
+    )
+    batch_s = time.perf_counter() - t0
+    assert np.array_equal(batch_out[: len(sample)], scalar_out), (
+        "batched execution diverged from the scalar interpreter"
+    )
+    scalar_pps = len(sample) / max(scalar_s, 1e-12)
+    batch_pps = len(feats) / max(batch_s, 1e-12)
+    return {
+        "n_packets": int(len(feats)),
+        "chunk_size": int(DEFAULT_CHUNK_SIZE),
+        "scalar_sample": int(len(sample)),
+        "scalar_pkt_per_s": float(scalar_pps),
+        "batch_pkt_per_s": float(batch_pps),
+        "speedup": float(batch_pps / scalar_pps),
+    }
+
+
+def _report(rows: dict[str, dict]) -> None:
+    table = render_table(
+        "Graph execution throughput: scalar interpreter vs execute_batch",
+        ["run", "packets", "scalar pkt/s", "batch pkt/s", "speedup"],
+        [
+            [name, r["n_packets"], f"{r['scalar_pkt_per_s']:.3g}",
+             f"{r['batch_pkt_per_s']:.3g}", f"{r['speedup']:.0f}x"]
+            for name, r in rows.items()
+        ],
+    )
+    print("\n" + table)
+    write_result("graph_batch_throughput", table)
+
+
+@pytest.mark.smoke
+def test_graph_batch_smoke(anomaly_q, split, bench_json):
+    """Tier-1-safe: batched path is bit-identical and much faster."""
+    __, test = split
+    from repro.datasets import dnn_feature_matrix
+
+    feats = dnn_feature_matrix(test)
+    feats = np.tile(feats, (max(1, 8000 // len(feats)) + 1, 1))[:8000]
+    graph = dnn_graph(anomaly_q, name="anomaly_dnn_exact", exact_activations=True)
+    result = _measure(graph, feats, scalar_sample=256)
+    bench_json("graph_batch", {"smoke": result})
+    _report({"smoke (anomaly DNN)": result})
+    assert result["speedup"] > 10
+
+
+@pytest.mark.bench
+def test_graph_batch_full_trace(experiment, bench_json):
+    """Opt-in: the full end-to-end trace streamed through the graph path.
+
+    Asserts the acceptance bar — full-trace equivalence, with the batched
+    interpreter >= 50x the scalar one in packets/sec.
+    """
+    trace = experiment.workload.trace
+    feats = np.stack([p.features for p in trace.packets])
+    graph = experiment.dataplane.exact_block.graph
+    result = _measure(graph, feats, scalar_sample=512)
+
+    t0 = time.perf_counter()
+    equivalent = experiment.dataplane.verify_equivalence(trace)
+    verify_s = time.perf_counter() - t0
+    assert equivalent, "full-trace graph-vs-quantized equivalence failed"
+    result["full_trace_equivalence"] = True
+    result["verify_equivalence_s"] = float(verify_s)
+
+    bench_json("graph_batch", {"full_trace": result})
+    _report({"full trace (anomaly DNN)": result})
+    assert result["speedup"] >= 50

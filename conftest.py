@@ -1,0 +1,38 @@
+"""Repo-wide pytest configuration: tier-1-safe markers and opt-in knobs.
+
+Tier-1 (``PYTHONPATH=src python -m pytest -x -q``) must stay fast, so heavy
+benchmarks are opt-in: tests marked ``bench`` are skipped unless
+``--runbench`` is passed.  Tests marked ``smoke`` are the fast, always-on
+counterparts that keep the same code paths covered in tier-1.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--runbench",
+        action="store_true",
+        default=False,
+        help="run opt-in heavy benchmarks (tests marked 'bench')",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "bench: heavy opt-in benchmark (skipped without --runbench)"
+    )
+    config.addinivalue_line(
+        "markers", "smoke: tier-1-safe fast check of a benchmark code path"
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--runbench"):
+        return
+    skip_bench = pytest.mark.skip(reason="heavy benchmark: pass --runbench to run")
+    for item in items:
+        if "bench" in item.keywords:
+            item.add_marker(skip_bench)

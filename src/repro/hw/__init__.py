@@ -3,7 +3,7 @@
 from .area import cu_area_mm2, fu_area_um2, grid_area_mm2, grid_composition, mu_area_mm2
 from .asic import OverheadReport, TaurusChip
 from .cu import ComputeUnit, CUResult
-from .grid import InferenceResult, MapReduceBlock
+from .grid import BatchInferenceResult, InferenceResult, MapReduceBlock
 from .mu import BankConflictError, MemoryUnit
 from .params import (
     CLOCK_GHZ,
@@ -30,6 +30,7 @@ __all__ = [
     "TaurusChip",
     "ComputeUnit",
     "CUResult",
+    "BatchInferenceResult",
     "InferenceResult",
     "MapReduceBlock",
     "BankConflictError",

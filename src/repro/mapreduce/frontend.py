@@ -5,6 +5,16 @@ Spatial-style compiler would produce for the paper's benchmarks
 (Section 5.1.2-5.1.3): innermost loops become SIMD operations within CUs,
 outer loops map over parallel CUs, and recurrences become temporal
 iterations over the same hardware.
+
+Every node's semantics are written batch-first — a ``batch_fn`` over
+``(B, width)`` arrays — and the scalar ``fn`` is the same callable adapted
+through :func:`_single` (or the identical function when the operation is
+element-wise / reduces along ``axis=-1``).  That construction is what makes
+``DataflowGraph.execute_batch`` bit-identical to per-packet ``execute``:
+both paths run the very same numpy expressions, only the leading batch
+axis differs.  Batched reductions deliberately avoid BLAS matmuls
+(``sum(a * w, axis=-1)`` instead of ``a @ w``) so results do not drift
+with batch size.
 """
 
 from __future__ import annotations
@@ -82,6 +92,7 @@ def dnn_graph(
             chain_ops=1,
             reduce_op="sum",
             fn=_single(layer.linear),
+            batch_fn=layer.linear,
         )
         cursor = dot
         if out_units > 1:
@@ -91,10 +102,12 @@ def dnn_graph(
         if layer.activation == "linear":
             continue
         if exact_activations or layer.activation == "relu":
-            act_fn = _single(layer.activate)
+            # Element-wise on any shape: one callable serves both paths.
+            act_fn = batch_act_fn = layer.activate
             spec = ACTIVATIONS[HW_ACTIVATION_FOR.get(layer.activation, "relu")]
         else:
             act_fn, spec = _hw_activation_fn(layer.activation, layer.act_fmt)
+            batch_act_fn = act_fn
         cursor = graph.add(
             "map",
             preds=[cursor],
@@ -102,6 +115,7 @@ def dnn_graph(
             width=out_units,
             chain_ops=spec.chain_ops,
             fn=act_fn,
+            batch_fn=batch_act_fn,
             weight_values=spec.lut_tables * 1024,
         )
     graph.add("output", preds=[cursor], name="score", width=cursor.width)
@@ -109,12 +123,36 @@ def dnn_graph(
 
 
 def _single(batch_fn):
-    """Adapt a batch (n, d) function to single-vector graph semantics."""
+    """Adapt a batch (n, d) function to single-vector graph semantics.
 
-    def apply(x: np.ndarray) -> np.ndarray:
-        return np.asarray(batch_fn(np.atleast_2d(x)))[0]
+    The wrapper runs the *same* batched computation with ``B == 1`` and
+    peels the row off, so scalar and batched execution share bits.  State
+    flows through untouched (state arrays then carry a leading batch axis
+    of 1, consistently for every node in the pass).
+    """
 
+    def apply(x: np.ndarray, **kwargs) -> np.ndarray:
+        return np.asarray(batch_fn(np.atleast_2d(x), **kwargs))[0]
+
+    apply.wants_state = getattr(batch_fn, "wants_state", False)
     return apply
+
+
+def _sq_dist_fn(bank: np.ndarray, in_fmt: FixedPointFormat, acc_fmt: FixedPointFormat):
+    """Batched squared distances to each row of a resident ``bank``.
+
+    Shared by the SVM (support vectors) and KMeans (centroids) lowerings —
+    the quantize/clip/square/reduce sequence must stay identical in both
+    for the batch==scalar bit-identity contract.
+    """
+
+    def sq_dist(x: np.ndarray) -> np.ndarray:
+        xq = in_fmt.roundtrip(np.clip(x, in_fmt.min_value, in_fmt.max_value))
+        return acc_fmt.roundtrip(
+            np.sum((xq[:, None, :] - bank[None, :, :]) ** 2, axis=-1)
+        )
+
+    return sq_dist
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +179,20 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
     # Squared distances live in the CU's wide accumulator (16-bit view).
     acc_fmt = format_for_range(np.array([(2 * np.abs(sv).max()) ** 2 * dim]), 16)
 
+    sq_dist = _sq_dist_fn(sv, in_fmt, acc_fmt)
+
+    def scale_gamma(d: np.ndarray) -> np.ndarray:
+        return np.clip(-gamma * d, -8.0, 0.0)
+
+    def exp_lut(z: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(np.exp(z))
+
+    def weighted_sum(k: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(np.sum(k * alphas, axis=-1, keepdims=True))
+
+    def bias_threshold(s: np.ndarray) -> np.ndarray:
+        return np.atleast_1d(s + bias)
+
     graph = DataflowGraph(name=name)
     features = graph.add("input", name="features", width=dim)
     bank = graph.add("const", name="sv_bank", weight_values=sv.size + alphas.size)
@@ -152,9 +204,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         width=dim,
         chain_ops=2,  # subtract, square
         reduce_op="sum",
-        fn=lambda x: acc_fmt.roundtrip(
-            np.sum((in_fmt.roundtrip(np.clip(x, in_fmt.min_value, in_fmt.max_value))[None, :] - sv) ** 2, axis=1)
-        ),
+        fn=_single(sq_dist),
+        batch_fn=sq_dist,
     )
     gathered = graph.add("gather", preds=[dist], name="gather_dist", width=n_sv)
     scaled = graph.add(
@@ -163,7 +214,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         name="scale_gamma",
         width=n_sv,
         chain_ops=1,
-        fn=lambda d: np.clip(-gamma * d, -8.0, 0.0),
+        fn=scale_gamma,
+        batch_fn=scale_gamma,
     )
     kernel = graph.add(
         "lut",
@@ -171,7 +223,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         name="exp_lut",
         width=n_sv,
         weight_values=1024,
-        fn=lambda z: fmt.roundtrip(np.exp(z)),
+        fn=exp_lut,
+        batch_fn=exp_lut,
     )
     score = graph.add(
         "dot",
@@ -181,7 +234,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         width=n_sv,
         chain_ops=1,
         reduce_op="sum",
-        fn=lambda k: fmt.roundtrip(np.atleast_1d(k @ alphas)),
+        fn=weighted_sum,
+        batch_fn=weighted_sum,
     )
     decision = graph.add(
         "map",
@@ -189,7 +243,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         name="bias_threshold",
         width=1,
         chain_ops=2,  # add bias, compare
-        fn=lambda s: np.atleast_1d(s + bias),
+        fn=bias_threshold,
+        batch_fn=bias_threshold,
     )
     graph.add("output", preds=[decision], name="score", width=1)
     return graph
@@ -215,6 +270,11 @@ def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> 
     max_dist = float(((2 * np.abs(centroids).max()) ** 2) * dim)
     acc_fmt = format_for_range(np.array([max_dist]), 16)
 
+    sq_dist = _sq_dist_fn(centroids, in_fmt, acc_fmt)
+
+    def argmin(d: np.ndarray) -> np.ndarray:
+        return np.argmin(d, axis=-1, keepdims=True)
+
     graph = DataflowGraph(name=name)
     features = graph.add("input", name="features", width=dim)
     bank = graph.add("const", name="centroids", weight_values=centroids.size)
@@ -226,9 +286,8 @@ def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> 
         width=dim,
         chain_ops=2,
         reduce_op="sum",
-        fn=lambda x: acc_fmt.roundtrip(
-            np.sum((in_fmt.roundtrip(np.clip(x, in_fmt.min_value, in_fmt.max_value))[None, :] - centroids) ** 2, axis=1)
-        ),
+        fn=_single(sq_dist),
+        batch_fn=sq_dist,
     )
     gathered = graph.add("gather", preds=[dist], name="gather_dist", width=k)
     nearest = graph.add(
@@ -237,7 +296,8 @@ def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> 
         name="argmin",
         width=k,
         reduce_op="argmin",
-        fn=lambda d: np.atleast_1d(np.argmin(d)),
+        fn=argmin,
+        batch_fn=argmin,
     )
     graph.add("output", preds=[nearest], name="cluster", width=1)
     return graph
@@ -272,21 +332,25 @@ def lstm_graph(
     graph = DataflowGraph(name=name, temporal_iterations=window_steps)
     window = graph.add("input", name="window", width=window_steps * dim)
 
+    # State arrays ("h", "c") carry a leading batch axis — (B, hidden) —
+    # in both paths (the scalar interpreter runs the same fns with B = 1).
     def select_step(flat: np.ndarray, state: dict) -> np.ndarray:
         t = state.get("iteration", 0)
-        return flat.reshape(window_steps, dim)[t]
+        return flat.reshape(-1, window_steps, dim)[:, t, :]
 
     select_step.wants_state = True
     x_t = graph.add(
-        "map", preds=[window], name="select_step", width=dim, chain_ops=1, fn=select_step
+        "map", preds=[window], name="select_step", width=dim, chain_ops=1,
+        fn=_single(select_step), batch_fn=select_step,
     )
 
     def read_hidden(x: np.ndarray, state: dict) -> np.ndarray:
-        return state.get("h", np.zeros(hidden))
+        return state.get("h", np.zeros((x.shape[0], hidden)))
 
     read_hidden.wants_state = True
     h_prev = graph.add(
-        "map", preds=[window], name="read_h", width=hidden, chain_ops=1, fn=read_hidden
+        "map", preds=[window], name="read_h", width=hidden, chain_ops=1,
+        fn=_single(read_hidden), batch_fn=read_hidden,
     )
     concat = graph.add(
         "gather", preds=[x_t, h_prev], name="concat", width=dim + hidden
@@ -294,6 +358,13 @@ def lstm_graph(
     bank = graph.add(
         "const", name="w_gates", weight_values=w_gates.size + b_gates.size
     )
+
+    def gate_matvec(z: np.ndarray) -> np.ndarray:
+        zq = fmt.roundtrip(z)
+        return fmt.roundtrip(
+            np.sum(zq[:, None, :] * w_gates[None, :, :], axis=-1) + b_gates
+        )
+
     gates = graph.add(
         "dot",
         preds=[concat, bank],
@@ -302,14 +373,17 @@ def lstm_graph(
         width=dim + hidden,
         chain_ops=1,
         reduce_op="sum",
-        fn=lambda z: fmt.roundtrip(w_gates @ fmt.roundtrip(z) + b_gates),
+        fn=_single(gate_matvec),
+        batch_fn=gate_matvec,
     )
+
     def cell_update(gate_pre: np.ndarray, state: dict) -> np.ndarray:
-        i = fmt.roundtrip(sigmoid_piecewise(gate_pre[0 * hidden : 1 * hidden]))
-        f = fmt.roundtrip(sigmoid_piecewise(gate_pre[1 * hidden : 2 * hidden]))
-        g = fmt.roundtrip(tanh_piecewise(gate_pre[2 * hidden : 3 * hidden]))
-        o = fmt.roundtrip(sigmoid_piecewise(gate_pre[3 * hidden : 4 * hidden]))
-        c = fmt.roundtrip(f * state.get("c", np.zeros(hidden)) + i * g)
+        i = fmt.roundtrip(sigmoid_piecewise(gate_pre[:, 0 * hidden : 1 * hidden]))
+        f = fmt.roundtrip(sigmoid_piecewise(gate_pre[:, 1 * hidden : 2 * hidden]))
+        g = fmt.roundtrip(tanh_piecewise(gate_pre[:, 2 * hidden : 3 * hidden]))
+        o = fmt.roundtrip(sigmoid_piecewise(gate_pre[:, 3 * hidden : 4 * hidden]))
+        c_prev = state.get("c", np.zeros((gate_pre.shape[0], hidden)))
+        c = fmt.roundtrip(f * c_prev + i * g)
         h = fmt.roundtrip(o * tanh_piecewise(c))
         state["c"] = c
         state["h"] = h
@@ -327,9 +401,19 @@ def lstm_graph(
         name="cell_update",
         width=4 * hidden,
         chain_ops=sig_spec.chain_ops + 6,
-        fn=cell_update,
+        fn=_single(cell_update),
+        batch_fn=cell_update,
     )
+
     # The action head runs once, after the final history element.
+    def action_head(h: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(
+            np.sum(h[:, None, :] * w_out[None, :, :], axis=-1) + b_out
+        )
+
+    def argmax(logits: np.ndarray) -> np.ndarray:
+        return np.argmax(logits, axis=-1, keepdims=True)
+
     head_bank = graph.add("const", name="w_out", weight_values=w_out.size + b_out.size)
     head = graph.add(
         "dot",
@@ -339,7 +423,8 @@ def lstm_graph(
         width=hidden,
         chain_ops=1,
         reduce_op="sum",
-        fn=lambda h: fmt.roundtrip(w_out @ h + b_out),
+        fn=_single(action_head),
+        batch_fn=action_head,
         epilogue=True,
     )
     head_vec = graph.add(
@@ -351,7 +436,8 @@ def lstm_graph(
         name="argmax",
         width=lstm.n_actions,
         reduce_op="argmax",
-        fn=lambda logits: np.atleast_1d(np.argmax(logits)),
+        fn=argmax,
+        batch_fn=argmax,
         epilogue=True,
     )
     graph.add("output", preds=[action], name="action", width=1, epilogue=True)
@@ -365,6 +451,12 @@ def inner_product_graph(width: int = 16, fmt: FixedPointFormat = FIX8) -> Datafl
     """A 16-element inner product — the perceptron core (Table 6)."""
     rng = np.random.default_rng(width)
     weights = fmt.roundtrip(rng.uniform(-1, 1, size=width))
+
+    def dot_fn(x: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(
+            np.sum(fmt.roundtrip(x) * weights, axis=-1, keepdims=True)
+        )
+
     graph = DataflowGraph(name=f"inner_product_{width}")
     features = graph.add("input", name="x", width=width)
     bank = graph.add("const", name="w", weight_values=width)
@@ -376,7 +468,8 @@ def inner_product_graph(width: int = 16, fmt: FixedPointFormat = FIX8) -> Datafl
         width=width,
         chain_ops=1,
         reduce_op="sum",
-        fn=lambda x: fmt.roundtrip(np.atleast_1d(fmt.roundtrip(x) @ weights)),
+        fn=dot_fn,
+        batch_fn=dot_fn,
     )
     graph.add("output", preds=[dot], name="y", width=1)
     return graph
@@ -387,6 +480,18 @@ def activation_graph(
 ) -> DataflowGraph:
     """A standalone line-rate activation (Table 6 / Fig. 10)."""
     spec = ACTIVATIONS[spec_name]
+
+    # All three stages are element-wise: the same callables serve the
+    # scalar and the (B, width) batched path.
+    def clip_addr(x: np.ndarray) -> np.ndarray:
+        return np.clip(x, -8.0, 8.0)
+
+    def table_read(x: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(spec.fn(x))
+
+    def identity(y: np.ndarray) -> np.ndarray:
+        return y
+
     graph = DataflowGraph(name=spec_name)
     features = graph.add("input", name="x", width=width)
     cursor = features
@@ -394,15 +499,15 @@ def activation_graph(
         # Address computation, MU table read, rescale.
         addr = graph.add(
             "map", preds=[cursor], name="lut_addr", width=width, chain_ops=3,
-            fn=lambda x: np.clip(x, -8.0, 8.0),
+            fn=clip_addr, batch_fn=clip_addr,
         )
         table = graph.add(
             "lut", preds=[addr], name="table", width=width, weight_values=1024,
-            fn=lambda x: fmt.roundtrip(spec.fn(x)),
+            fn=table_read, batch_fn=table_read,
         )
         cursor = graph.add(
             "map", preds=[table], name="rescale", width=width, chain_ops=3,
-            fn=lambda y: y,
+            fn=identity, batch_fn=identity,
         )
     else:
         cursor = graph.add(
@@ -411,7 +516,8 @@ def activation_graph(
             name=spec.name,
             width=width,
             chain_ops=spec.chain_ops,
-            fn=lambda x: fmt.roundtrip(spec.fn(x)),
+            fn=table_read,
+            batch_fn=table_read,
         )
     graph.add("output", preds=[cursor], name="y", width=width)
     return graph
@@ -438,19 +544,31 @@ def conv1d_graph(
     taps = fmt.roundtrip(rng.uniform(-1, 1, size=kernel))
     width_in = n_outputs + kernel - 1
 
+    # Slicing the last axis and reducing along it keeps one callable valid
+    # for both the scalar (width,) and batched (B, width) layouts.
+    def window_fn(s: int):
+        return lambda x: x[..., s : s + kernel]
+
+    def identity(w: np.ndarray) -> np.ndarray:
+        return w
+
+    def tap_dot(w: np.ndarray) -> np.ndarray:
+        return fmt.roundtrip(np.sum(w * taps, axis=-1, keepdims=True))
+
     graph = DataflowGraph(name=f"conv1d_u{unroll}")
     graph.initiation_interval = n_outputs // unroll
     features = graph.add("input", name="x", width=width_in)
     bank = graph.add("const", name="taps", weight_values=kernel)
     slices = []
     for s in range(unroll):
+        slice_fn = window_fn(s)
         window = graph.add(
             "map", preds=[features], name=f"window{s}", width=kernel, chain_ops=2,
-            fn=(lambda s_: lambda x: x[s_ : s_ + kernel])(s),
+            fn=slice_fn, batch_fn=slice_fn,
         )
         align = graph.add(
             "map", preds=[window], name=f"align{s}", width=kernel, chain_ops=2,
-            fn=lambda w: w,
+            fn=identity, batch_fn=identity,
         )
         dot = graph.add(
             "mapreduce",
@@ -460,11 +578,12 @@ def conv1d_graph(
             width=kernel,
             chain_ops=1,
             reduce_op="sum",
-            fn=lambda w: fmt.roundtrip(np.atleast_1d(w @ taps)),
+            fn=tap_dot,
+            batch_fn=tap_dot,
         )
         accum = graph.add(
             "map", preds=[dot], name=f"accum{s}", width=1, chain_ops=1,
-            fn=lambda v: v,
+            fn=identity, batch_fn=identity,
         )
         slices.append(accum)
     gathered = graph.add("gather", preds=slices, name="gather_out", width=unroll)

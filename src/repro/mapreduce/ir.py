@@ -21,6 +21,37 @@ Node kinds
 ``reduce``     a vector-to-scalar reduction (sum/max/argmax/...)
 ``lut``        an MU-resident lookup table
 ``output``     result written back into the PHV
+
+Execution semantics
+-------------------
+The graph is executable two ways:
+
+* :meth:`DataflowGraph.execute` interprets one feature vector (one packet)
+  at a time — the cycle-faithful view the hardware models wrap.
+* :meth:`DataflowGraph.execute_batch` interprets a ``(B, D)`` block of
+  feature vectors in one pass, using each node's vectorized ``batch_fn``
+  (falling back to a per-row loop over ``fn`` when a node has none).  This
+  is how multi-hundred-thousand-packet traces stream through the functional
+  CGRA path at scale; results are bit-identical to the scalar interpreter.
+
+Epilogue contract
+-----------------
+For recurrent graphs (``temporal_iterations > 1``) nodes marked
+``epilogue=True`` run exactly **once**, after the last temporal iteration —
+e.g. the LSTM's action head, which reads the final hidden state.  Epilogue
+nodes may only feed other epilogue nodes (their values do not exist during
+earlier iterations); :meth:`DataflowGraph.add` rejects wiring that
+violates this at build time.
+The compiler's latency model prices the epilogue the same way: once, after
+``body * temporal_iterations`` cycles (see ``compiler/pipeline.py``).
+
+Input contract
+--------------
+Input-node values are handed to node ``fn``/``batch_fn`` callables as
+**read-only** views (``arr.flags.writeable = False``): every ``input`` node
+shares the same features array, so a mutating callable would silently
+corrupt sibling consumers.  Node callables must treat all arguments as
+immutable and allocate fresh arrays for their outputs.
 """
 
 from __future__ import annotations
@@ -29,6 +60,8 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 import numpy as np
+
+from .ops import REDUCE_OPS
 
 __all__ = ["Node", "DataflowGraph", "NODE_KINDS"]
 
@@ -63,7 +96,16 @@ class Node:
         Reduction operator name for ``dot``/``mapreduce``/``reduce`` nodes.
     fn:
         Functional semantics: called with the (already gathered) input
-        float array, returns the node's output array.
+        float array, returns the node's output array.  Arguments are
+        read-only; implementations must not mutate them.  ``reduce``
+        nodes may omit ``fn`` entirely, in which case the interpreter
+        applies the named :data:`~repro.mapreduce.ops.REDUCE_OPS` entry.
+    batch_fn:
+        Vectorized semantics: called with ``(B, width)`` arrays (one row
+        per packet), returns a ``(B, out_width)`` array.  Optional — the
+        batched interpreter falls back to looping ``fn`` per row — but
+        required for state-carrying nodes and for batched execution to be
+        fast.
     weight_values:
         Number of constant values this node keeps in MUs (``const``/``lut``).
     """
@@ -77,6 +119,7 @@ class Node:
     chain_ops: int = 0
     reduce_op: str | None = None
     fn: Callable[..., np.ndarray] | None = None
+    batch_fn: Callable[..., np.ndarray] | None = None
     weight_values: int = 0
     payload: Any = None
     #: Epilogue nodes run once after the last temporal iteration (e.g. the
@@ -111,13 +154,26 @@ class DataflowGraph:
     # Construction
     # ------------------------------------------------------------------
     def add(self, kind: str, preds: list[Node] | None = None, **kwargs) -> Node:
-        """Append a node; ``preds`` are upstream nodes."""
+        """Append a node; ``preds`` are upstream nodes.
+
+        Rejects a non-epilogue node consuming an epilogue predecessor at
+        build time: epilogue values only exist after the last temporal
+        iteration, so such a consumer would read a value that is not
+        there yet.
+        """
         node = Node(
             node_id=self._next_id,
             kind=kind,
             preds=[p.node_id for p in (preds or [])],
             **kwargs,
         )
+        if not node.epilogue:
+            for pred in preds or []:
+                if pred.epilogue:
+                    raise ValueError(
+                        f"epilogue node {pred.name!r} feeds "
+                        f"non-epilogue node {node.name!r}"
+                    )
         self.nodes[node.node_id] = node
         self._next_id += 1
         return node
@@ -161,20 +217,69 @@ class DataflowGraph:
         ``state`` carries values across :attr:`temporal_iterations` for
         recurrent graphs; node ``fn`` callables may read/write it via their
         second argument when they declare one (the LSTM step does).
+
+        Nodes marked ``epilogue`` run once, after the last iteration; the
+        features array is handed to nodes as a read-only view (see the
+        module docstring for both contracts).
         """
-        features = np.asarray(features, dtype=np.float64)
+        features = np.array(features, dtype=np.float64)  # private copy
+        features.flags.writeable = False
+        return self._interpret(features, state, batch=None)
+
+    # ------------------------------------------------------------------
+    # Batched execution (a block of packets per pass)
+    # ------------------------------------------------------------------
+    def execute_batch(
+        self, features: np.ndarray, state: dict | None = None
+    ) -> np.ndarray:
+        """Run the graph on a ``(B, D)`` block of feature vectors at once.
+
+        Semantics match ``B`` independent calls to :meth:`execute`
+        bit-for-bit: every node value is a ``(B, width)`` array whose row
+        ``b`` is what the scalar interpreter would have computed for packet
+        ``b``.  Recurrent state is batched the same way (``state["h"]`` is
+        ``(B, hidden)`` for the LSTM), and epilogue nodes run once after
+        the final temporal iteration.
+
+        Nodes without a ``batch_fn`` fall back to looping ``fn`` over rows
+        (correct but slow); state-carrying nodes must provide ``batch_fn``.
+        """
+        features = np.array(features, dtype=np.float64)  # private copy
+        if features.ndim != 2:
+            raise ValueError(
+                f"execute_batch expects (B, D) features, got shape "
+                f"{features.shape}"
+            )
+        features.flags.writeable = False
+        return self._interpret(features, state, batch=features.shape[0])
+
+    def _interpret(
+        self, features: np.ndarray, state: dict | None, batch: int | None
+    ) -> np.ndarray:
+        """The shared interpreter core for both execution modes.
+
+        ``batch`` is ``None`` for the scalar path.  Keeping the temporal
+        loop, epilogue skipping, and structural node dispatch in one place
+        is deliberate: the epilogue bug this module once carried came from
+        semantics drifting between duplicated loops.
+        """
+        batched = batch is not None
+        empty = np.empty((batch, 0)) if batched else np.empty(0)
         state = state if state is not None else {}
         values: dict[int, np.ndarray] = {}
         result: np.ndarray | None = None
         order = self.topo_order()
         for iteration in range(self.temporal_iterations):
             state["iteration"] = iteration
+            last = iteration == self.temporal_iterations - 1
             for node in order:
+                if node.epilogue and not last:
+                    continue
                 if node.kind == "input":
                     values[node.node_id] = features
                     continue
                 if node.kind == "const":
-                    values[node.node_id] = np.empty(0)
+                    values[node.node_id] = empty
                     continue
                 args = [
                     values[p]
@@ -182,28 +287,69 @@ class DataflowGraph:
                     if self.nodes[p].kind != "const"
                 ]
                 if node.kind == "gather":
-                    merged = np.concatenate([np.atleast_1d(a) for a in args])
-                    values[node.node_id] = merged
+                    values[node.node_id] = (
+                        np.concatenate([_as_batch_2d(a) for a in args], axis=1)
+                        if batched
+                        else np.concatenate([np.atleast_1d(a) for a in args])
+                    )
                     continue
                 if node.kind == "output":
-                    out = args[0] if args else np.empty(0)
+                    out = args[0] if args else empty
                     values[node.node_id] = out
                     result = out
                     continue
-                if node.fn is None:
-                    raise ValueError(f"node {node.name!r} has no semantics")
-                values[node.node_id] = node.fn(*args, **_state_kwarg(node, state))
+                values[node.node_id] = (
+                    _as_batch_2d(_run_node_batched(node, args, state, batch))
+                    if batched
+                    else _run_node_scalar(node, args, state)
+                )
         if result is None:
             raise ValueError("graph has no output node")
-        return result
+        return _as_batch_2d(result) if batched else result
 
     def __len__(self) -> int:
         return len(self.nodes)
 
 
-def _state_kwarg(node: Node, state: dict) -> dict:
-    """Pass mutable state only to nodes that want it."""
-    fn = node.fn
-    if fn is not None and getattr(fn, "wants_state", False):
+def _as_batch_2d(value: np.ndarray) -> np.ndarray:
+    """Normalize a batched node value to ``(B, width)``."""
+    value = np.asarray(value)
+    if value.ndim == 1:
+        return value[:, None]
+    return value
+
+
+def _run_node_scalar(node: Node, args: list[np.ndarray], state: dict) -> np.ndarray:
+    """One node on a single vector via its scalar semantics."""
+    if node.fn is None:
+        if node.kind == "reduce" and node.reduce_op in REDUCE_OPS:
+            return np.atleast_1d(REDUCE_OPS[node.reduce_op].fn(args[0]))
+        raise ValueError(f"node {node.name!r} has no semantics")
+    return node.fn(*args, **_state_kwarg(node.fn, state))
+
+
+def _run_node_batched(
+    node: Node, args: list[np.ndarray], state: dict, batch: int
+) -> np.ndarray:
+    """One node on a batch: vectorized ``batch_fn``, or a row loop."""
+    if node.batch_fn is not None:
+        return node.batch_fn(*args, **_state_kwarg(node.batch_fn, state))
+    if node.fn is None:
+        if node.kind == "reduce" and node.reduce_op in REDUCE_OPS:
+            return REDUCE_OPS[node.reduce_op].batched(args[0])
+        raise ValueError(f"node {node.name!r} has no semantics")
+    if getattr(node.fn, "wants_state", False):
+        raise ValueError(
+            f"node {node.name!r} carries state and needs a batch_fn for "
+            "batched execution (per-row state would diverge)"
+        )
+    return np.stack(
+        [np.atleast_1d(node.fn(*[a[b] for a in args])) for b in range(batch)]
+    )
+
+
+def _state_kwarg(fn: Callable, state: dict) -> dict:
+    """Pass mutable state only to callables that want it."""
+    if getattr(fn, "wants_state", False):
         return {"state": state}
     return {}

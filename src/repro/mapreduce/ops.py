@@ -4,6 +4,14 @@ Map operations are element-wise vector ops; reduce operations combine a
 vector to a scalar with an associative operator (Section 3.3.1).  Each op
 carries its fixed-point execution semantics so the functional CGRA
 simulator and the analytical compiler agree on exactly what a CU stage does.
+
+Batch semantics: every op accepts a leading batch axis.  Map ops broadcast
+element-wise, so ``(B, width)`` in gives ``(B, width)`` out; reduce ops
+contract the **last** axis only (``axis=-1``), so ``(B, width)`` in gives
+``(B,)`` out — one reduced value per packet.  This is the contract the
+batched dataflow interpreter (:meth:`DataflowGraph.execute_batch`) and the
+scalar one share: a row of a batched result is bit-identical to the same
+op on that row alone.
 """
 
 from __future__ import annotations
@@ -27,11 +35,23 @@ class MapOp:
 
 @dataclass(frozen=True)
 class ReduceOp:
-    """An associative vector-to-scalar operation (tree-reduced in a CU)."""
+    """An associative vector-to-scalar operation (tree-reduced in a CU).
+
+    ``fn`` contracts the last axis, so it is batch-transparent:
+    ``(width,) -> ()`` and ``(B, width) -> (B,)``.
+    """
 
     name: str
     fn: Callable[[np.ndarray], np.ndarray]
     identity: float
+
+    def batched(self, values: np.ndarray) -> np.ndarray:
+        """Reduce per packet, keeping the lane axis: ``(B, w) -> (B, 1)``.
+
+        This is the batched interpreter's default semantics for ``reduce``
+        nodes lowered without an explicit ``fn``/``batch_fn``.
+        """
+        return np.asarray(self.fn(values))[..., None]
 
 
 MAP_OPS: dict[str, MapOp] = {

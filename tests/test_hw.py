@@ -224,6 +224,50 @@ class TestMapReduceBlock:
         out = block.process_batch(np.ones((5, 16)))
         assert out.shape == (5, 1)
 
+    def test_run_batch_matches_scalar(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        feats = np.linspace(-1, 1, 5 * 16).reshape(5, 16)
+        result = block.run_batch(feats)
+        scalar = np.stack([block.graph.execute(row) for row in feats])
+        assert np.array_equal(result.values, scalar)
+
+    def test_run_batch_ii_accounting(self):
+        from repro.mapreduce import conv1d_graph
+        from repro.hw.params import CLOCK_GHZ
+
+        block = MapReduceBlock(conv1d_graph(unroll=1))  # II = 8
+        result = block.run_batch(np.ones((10, 9)))
+        ii = block.design.initiation_interval
+        assert result.initiation_interval == ii
+        expected_cycles = block.design.latency_cycles + 9 * ii
+        assert result.duration_ns == pytest.approx(expected_cycles / CLOCK_GHZ)
+        assert result.throughput_pkt_s == pytest.approx(
+            10 / (result.duration_ns * 1e-9)
+        )
+        # Long batches converge to the II-limited line-rate fraction.
+        big = block.run_batch(np.ones((5000, 9)))
+        steady = block.throughput_gpkt_s * 1e9
+        assert big.throughput_pkt_s == pytest.approx(steady, rel=0.05)
+
+    def test_run_batch_advances_issue_clock(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        first = block.run_batch(np.ones((7, 16)))
+        assert first.accepted_at_cycle == 0
+        assert block.packets_processed == 7
+        stalled = block.process(np.ones(16), at_cycle=0)  # queued behind batch
+        assert stalled.latency_ns > block.design.latency_ns
+
+    def test_run_batch_stalls_behind_earlier_work(self):
+        block = MapReduceBlock(inner_product_graph(16))
+        block.process(np.ones(16), at_cycle=0)
+        queued = block.run_batch(np.ones((3, 16)), at_cycle=0)
+        assert queued.accepted_at_cycle == block.design.initiation_interval
+        # Stalled arrivals pay the wait in latency_ns, as process() does.
+        assert queued.latency_ns > block.design.latency_ns
+        back_to_back = block.run_batch(np.ones((2, 16)))
+        # Batches issue contiguously: 1 (process) + 3 (first batch) slots.
+        assert back_to_back.accepted_at_cycle == 4 * block.design.initiation_interval
+
 
 class TestSwitchChipParams:
     def test_mat_area(self):

@@ -130,6 +130,59 @@ class TestTaurusDataPlane:
         plane = TaurusDataPlane(quantized_dnn)
         assert plane.verify_equivalence(small_workload.trace, n_samples=16)
 
+    def test_fabric_equivalence_full_trace(self, small_workload, quantized_dnn):
+        """Default verify now streams the whole trace, not a spot check."""
+        plane = TaurusDataPlane(quantized_dnn)
+        assert plane.verify_equivalence(small_workload.trace)
+
+    def test_chunk_size_does_not_change_scores(self, small_workload, quantized_dnn):
+        plane = TaurusDataPlane(quantized_dnn)
+        small = plane.run(small_workload.trace, chunk_size=1000)
+        big = plane.run(small_workload.trace, chunk_size=100_000)
+        assert small == big
+
+    def test_invalid_chunk_size(self, small_workload, quantized_dnn):
+        plane = TaurusDataPlane(quantized_dnn)
+        with pytest.raises(ValueError):
+            plane.run(small_workload.trace, chunk_size=0)
+
+    def test_scoring_does_not_advance_issue_clock(self, small_workload, quantized_dnn):
+        """run/verify are read-only passes: a later per-packet inference on
+        the scoring block must not see a phantom stall from them."""
+        plane = TaurusDataPlane(quantized_dnn)
+        plane.run(small_workload.trace)
+        plane.verify_equivalence(small_workload.trace)
+        result = plane.exact_block.process(
+            small_workload.trace.packets[0].features, at_cycle=0
+        )
+        assert result.latency_ns == plane.exact_block.design.latency_ns
+
+
+class TestExperimentReusesTaurusPass:
+    def test_one_streamed_pass_per_sweep(self, monkeypatch):
+        """Regression: run_row used to recompute the (sampling-rate-
+        independent) Taurus result for every row of the sweep."""
+        from repro.testbed import EndToEndExperiment
+        from repro.testbed import dataplane as dataplane_mod
+
+        experiment = EndToEndExperiment.build(
+            n_connections=400, max_packets=4000, epochs=2, seed=0
+        )
+        calls = {"run": 0}
+        original = dataplane_mod.TaurusDataPlane.run
+
+        def counting_run(self, trace, chunk_size=dataplane_mod.DEFAULT_CHUNK_SIZE):
+            calls["run"] += 1
+            return original(self, trace, chunk_size)
+
+        monkeypatch.setattr(dataplane_mod.TaurusDataPlane, "run", counting_run)
+        rows = experiment.run(sampling_rates=(1e-4, 1e-3, 1e-2))
+        assert calls["run"] == 1
+        # The rows are unchanged: every one carries the single shared pass.
+        direct = original(experiment.dataplane, experiment.workload.trace)
+        for row in rows:
+            assert row.taurus == direct
+
 
 class TestOnlineTrainer:
     @pytest.fixture(scope="class")
