@@ -1,0 +1,119 @@
+"""Scalar vs batched execution of the *entire* PISA pipeline.
+
+Not a paper table: this records the simulator's full-switch throughput —
+parse -> flow registers -> preprocessing MATs -> {MapReduce | bypass} ->
+postprocessing MATs -> scheduler — so the repo's perf trajectory is
+visible across PRs.  The scalar path walks :meth:`TaurusPipeline.process`
+once per packet; the batched path streams the trace's cached columns
+through :meth:`TaurusPipeline.process_trace_batch`.  The smoke variant
+runs in tier-1; the >=100k-packet variant is opt-in via ``--runbench``.
+Both update ``BENCH_pipeline_batch.json``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import render_table, write_result
+from repro.datasets import dnn_feature_matrix, expand_to_packets, generate_connections
+from repro.pisa import from_record
+from repro.testbed.dataplane import DEFAULT_CHUNK_SIZE
+
+
+def _measure(dataplane, trace, scalar_sample: int) -> dict:
+    """Packets/sec through the full switch: scalar (sampled) vs batched."""
+    trace.columns()  # prime the cached columnar view outside the timers
+
+    scalar_pipe = dataplane.build_pipeline()
+    sample = [from_record(p) for p in trace.packets[:scalar_sample]]
+    t0 = time.perf_counter()
+    scalar_results = scalar_pipe.process_trace(sample)
+    scalar_s = time.perf_counter() - t0
+
+    batch_pipe = dataplane.build_pipeline()
+    t0 = time.perf_counter()
+    batch = batch_pipe.process_trace_batch(trace, chunk_size=DEFAULT_CHUNK_SIZE)
+    batch_s = time.perf_counter() - t0
+
+    # The batched path is the same machine: identical decisions, scores,
+    # and latencies on the sampled prefix.
+    assert np.array_equal(
+        np.array([r.decision for r in scalar_results]),
+        batch.decisions[: len(sample)],
+    ), "batched pipeline diverged from the scalar loop (decisions)"
+    assert np.array_equal(
+        np.array(
+            [np.nan if r.ml_score is None else r.ml_score for r in scalar_results]
+        ),
+        batch.ml_scores[: len(sample)],
+        equal_nan=True,
+    ), "batched pipeline diverged from the scalar loop (scores)"
+    assert np.array_equal(
+        np.array([r.latency_ns for r in scalar_results]),
+        batch.latencies_ns[: len(sample)],
+    ), "batched pipeline diverged from the scalar loop (latencies)"
+
+    scalar_pps = len(sample) / max(scalar_s, 1e-12)
+    batch_pps = len(trace) / max(batch_s, 1e-12)
+    return {
+        "n_packets": int(len(trace)),
+        "chunk_size": int(DEFAULT_CHUNK_SIZE),
+        "scalar_sample": int(len(sample)),
+        "scalar_pkt_per_s": float(scalar_pps),
+        "batch_pkt_per_s": float(batch_pps),
+        "speedup": float(batch_pps / scalar_pps),
+        "flagged": int(batch.flagged),
+    }
+
+
+def _report(rows: dict[str, dict]) -> None:
+    table = render_table(
+        "Full-pipeline throughput: scalar process() vs process_trace_batch",
+        ["run", "packets", "scalar pkt/s", "batch pkt/s", "speedup"],
+        [
+            [name, r["n_packets"], f"{r['scalar_pkt_per_s']:.3g}",
+             f"{r['batch_pkt_per_s']:.3g}", f"{r['speedup']:.0f}x"]
+            for name, r in rows.items()
+        ],
+    )
+    print("\n" + table)
+    write_result("pipeline_batch_throughput", table)
+
+
+@pytest.mark.smoke
+def test_pipeline_batch_smoke(experiment, bench_json):
+    """Tier-1-safe: the batched switch path is identical and much faster."""
+    trace = expand_to_packets(
+        experiment.workload.live,
+        feature_matrix=dnn_feature_matrix(experiment.workload.live),
+        max_packets=6000,
+        seed=13,
+    )
+    result = _measure(experiment.dataplane, trace, scalar_sample=64)
+    bench_json("pipeline_batch", {"smoke": result})
+    _report({"smoke (full switch)": result})
+    assert result["speedup"] > 10
+
+
+@pytest.mark.bench
+def test_pipeline_batch_full_trace(experiment, bench_json):
+    """Opt-in: a >=100k-packet trace through the full switch model.
+
+    Asserts the acceptance bar — the batched pipeline >= 50x the scalar
+    per-packet loop in packets/sec.
+    """
+    dataset = generate_connections(6000, seed=21)
+    trace = expand_to_packets(
+        dataset,
+        feature_matrix=dnn_feature_matrix(dataset),
+        max_packets=150_000,
+        seed=22,
+    )
+    assert len(trace) >= 100_000, "benchmark trace must hold >= 100k packets"
+    result = _measure(experiment.dataplane, trace, scalar_sample=256)
+    bench_json("pipeline_batch", {"full_trace": result})
+    _report({"full trace (full switch)": result})
+    assert result["speedup"] >= 50

@@ -25,6 +25,8 @@ def main() -> None:
     )
     print("verifying fabric/vectorized equivalence:",
           experiment.verify_dataplane())
+    print("Taurus rows below exercise the full switch model: every packet "
+          "transits the batched parse/MAT/register/MapReduce pipeline.")
 
     print("\nsweeping control-plane sampling rates ...")
     rows = experiment.run(DEFAULT_SAMPLING_RATES)

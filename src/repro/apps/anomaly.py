@@ -23,7 +23,7 @@ from ..hw.grid import MapReduceBlock
 from ..mapreduce import dnn_graph, svm_graph
 from ..ml import RBFKernelSVM, anomaly_detection_dnn, f1_score, detection_rate
 from ..ml.dnn import DNN
-from ..pisa import DECISION_FLAG, DECISION_FORWARD, TaurusPipeline
+from ..pisa import TaurusPipeline, threshold_postprocess
 from ..datasets.nslkdd import DNN_FEATURES
 
 __all__ = ["AnomalyDetector", "train_anomaly_dnn", "train_anomaly_svm"]
@@ -87,13 +87,14 @@ class AnomalyDetector:
         features = dnn_feature_matrix(dataset)
         quantized = quantize_model(dnn, features[: min(512, len(features))])
         block = MapReduceBlock(dnn_graph(quantized, name="anomaly_dnn"))
+        # Matched scalar + vectorized hooks keep batched trace runs on the
+        # fast path without risking decision drift between the two.
+        scalar_post, batch_post = threshold_postprocess(threshold)
         pipeline = TaurusPipeline(
             block=block,
             feature_names=DNN_FEATURES,
-            postprocess=lambda value: (
-                DECISION_FLAG if float(np.atleast_1d(value)[0]) >= threshold
-                else DECISION_FORWARD
-            ),
+            postprocess=scalar_post,
+            postprocess_batch=batch_post,
         )
         return cls(
             dnn=dnn, quantized=quantized, block=block,

@@ -22,7 +22,13 @@ from .nslkdd import (
     generate_connections,
     svm_feature_matrix,
 )
-from .packets import FlowSpec, PacketRecord, PacketTrace, expand_to_packets
+from .packets import (
+    FlowSpec,
+    PacketRecord,
+    PacketTrace,
+    TraceColumns,
+    expand_to_packets,
+)
 
 __all__ = [
     "ACTIONS",
@@ -44,5 +50,6 @@ __all__ = [
     "FlowSpec",
     "PacketRecord",
     "PacketTrace",
+    "TraceColumns",
     "expand_to_packets",
 ]

@@ -23,7 +23,13 @@ import numpy as np
 
 from .nslkdd import ConnectionDataset, DNN_FEATURES, FEATURE_NAMES
 
-__all__ = ["PacketRecord", "FlowSpec", "PacketTrace", "expand_to_packets"]
+__all__ = [
+    "PacketRecord",
+    "FlowSpec",
+    "PacketTrace",
+    "TraceColumns",
+    "expand_to_packets",
+]
 
 
 @dataclass(frozen=True)
@@ -59,6 +65,130 @@ class FlowSpec:
     start_time: float
 
 
+#: Ethernet + IP + TCP/UDP header bytes assumed when splitting a packet's
+#: wire size into headers + payload (mirrors ``repro.pisa.packet``).
+HEADER_BYTES = 54
+
+
+@dataclass
+class TraceColumns:
+    """Structure-of-arrays view of a packet stream.
+
+    The columnar twin of a list of packets: one array per field, aligned by
+    position.  This is what the batched PISA pipeline consumes — header
+    fields feed the vectorized parser and MAT lookups, ``features`` streams
+    through the MapReduce block in ``(B, D)`` chunks, and ``labels`` scores
+    the run.  Header values are stored as int64 (wide enough for 32-bit
+    fields); ``features`` rows for packets without a feature payload are
+    zero with ``has_features`` False.
+    """
+
+    times: np.ndarray                      # float64 [N] arrival seconds
+    sizes: np.ndarray                      # int64 [N] wire bytes
+    payload_len: np.ndarray                # int64 [N]
+    headers: dict[str, np.ndarray]         # int64 [N] per header field
+    features: np.ndarray | None            # float64 [N, D] (None: no payloads)
+    has_features: np.ndarray               # bool [N]
+    labels: np.ndarray | None = None       # int64 [N] ground truth
+    flow_ids: np.ndarray | None = None     # int64 [N]
+
+    @property
+    def n(self) -> int:
+        return len(self.times)
+
+    def __len__(self) -> int:
+        return self.n
+
+    def header(self, name: str) -> np.ndarray:
+        """A header field column (zeros when the field never appears)."""
+        col = self.headers.get(name)
+        if col is None:
+            return np.zeros(self.n, dtype=np.int64)
+        return col
+
+    def five_tuple_columns(self) -> tuple[np.ndarray, ...]:
+        return tuple(
+            self.header(name)
+            for name in ("src_ip", "dst_ip", "src_port", "dst_port", "protocol")
+        )
+
+    def slice(self, sl: slice) -> "TraceColumns":
+        """A zero-copy view of a contiguous packet range."""
+        return TraceColumns(
+            times=self.times[sl],
+            sizes=self.sizes[sl],
+            payload_len=self.payload_len[sl],
+            headers={name: col[sl] for name, col in self.headers.items()},
+            features=None if self.features is None else self.features[sl],
+            has_features=self.has_features[sl],
+            labels=None if self.labels is None else self.labels[sl],
+            flow_ids=None if self.flow_ids is None else self.flow_ids[sl],
+        )
+
+    def take(self, order: np.ndarray) -> "TraceColumns":
+        """Reindex every column by ``order`` (e.g. a time sort)."""
+        return TraceColumns(
+            times=self.times[order],
+            sizes=self.sizes[order],
+            payload_len=self.payload_len[order],
+            headers={name: col[order] for name, col in self.headers.items()},
+            features=None if self.features is None else self.features[order],
+            has_features=self.has_features[order],
+            labels=None if self.labels is None else self.labels[order],
+            flow_ids=None if self.flow_ids is None else self.flow_ids[order],
+        )
+
+    @classmethod
+    def from_packets(cls, packets) -> "TraceColumns":
+        """Build columns from pipeline :class:`~repro.pisa.packet.Packet`
+        objects (duck-typed: ``headers``/``payload_len``/``arrival_time``/
+        ``size_bytes``/``features``/``truth_label``/``flow_id``)."""
+        n = len(packets)
+        field_names: list[str] = []
+        seen = set()
+        for p in packets:
+            for name in p.headers:
+                if name not in seen:
+                    seen.add(name)
+                    field_names.append(name)
+        headers = {
+            name: np.fromiter(
+                (int(p.headers.get(name, 0)) for p in packets), np.int64, n
+            )
+            for name in field_names
+        }
+        has_features = np.fromiter(
+            (p.features is not None for p in packets), bool, n
+        )
+        features = None
+        if has_features.any():
+            dim = len(next(p.features for p in packets if p.features is not None))
+            features = np.zeros((n, dim), dtype=np.float64)
+            for i, p in enumerate(packets):
+                if p.features is not None:
+                    features[i] = p.features
+        labels = np.fromiter(
+            ((p.truth_label if p.truth_label is not None else -1) for p in packets),
+            np.int64,
+            n,
+        )
+        flow_ids = np.fromiter(
+            ((p.flow_id if p.flow_id is not None else -1) for p in packets),
+            np.int64,
+            n,
+        )
+        return cls(
+            times=np.fromiter((p.arrival_time for p in packets), np.float64, n),
+            sizes=np.fromiter((p.size_bytes for p in packets), np.int64, n),
+            payload_len=np.fromiter((p.payload_len for p in packets), np.int64, n),
+            headers=headers,
+            features=features,
+            has_features=has_features,
+            labels=labels,
+            flow_ids=flow_ids,
+        )
+
+
 @dataclass
 class PacketTrace:
     """A time-ordered packet stream plus its flow table.
@@ -77,9 +207,52 @@ class PacketTrace:
     duration: float
     offered_gbps: float
     time_dilation: float = 1.0
+    _columns: TraceColumns | None = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.packets)
+
+    def columns(self) -> TraceColumns:
+        """The trace as a cached structure-of-arrays (built once).
+
+        Header fields mirror :func:`repro.pisa.packet.from_record` so the
+        batched pipeline sees bit-identical inputs to the scalar loop over
+        converted packets: ``urgent_flag`` is 0, ``seq`` is the in-flow
+        sequence number, and the payload is the wire size minus the 54
+        header bytes (floored at zero).
+        """
+        if self._columns is None:
+            packets = self.packets
+            n = len(packets)
+            payload = np.fromiter(
+                (max(0, p.size_bytes - HEADER_BYTES) for p in packets), np.int64, n
+            )
+            tuples = [p.five_tuple for p in packets]
+            headers = {
+                "src_ip": np.fromiter((t[0] for t in tuples), np.int64, n),
+                "dst_ip": np.fromiter((t[1] for t in tuples), np.int64, n),
+                "src_port": np.fromiter((t[2] for t in tuples), np.int64, n),
+                "dst_port": np.fromiter((t[3] for t in tuples), np.int64, n),
+                "protocol": np.fromiter((t[4] for t in tuples), np.int64, n),
+                "urgent_flag": np.zeros(n, dtype=np.int64),
+                "seq": np.fromiter((p.seq_in_flow for p in packets), np.int64, n),
+            }
+            self._columns = TraceColumns(
+                times=np.fromiter((p.time for p in packets), np.float64, n),
+                # The pipeline's notion of wire size: headers + payload.
+                sizes=payload + HEADER_BYTES,
+                payload_len=payload,
+                headers=headers,
+                features=(
+                    np.stack([p.features for p in packets])
+                    if n
+                    else np.zeros((0, 0), dtype=np.float64)
+                ),
+                has_features=np.ones(n, dtype=bool),
+                labels=np.fromiter((p.label for p in packets), np.int64, n),
+                flow_ids=np.fromiter((p.flow_id for p in packets), np.int64, n),
+            )
+        return self._columns
 
     @property
     def anomalous_fraction(self) -> float:

@@ -4,15 +4,18 @@ from .actions import MAX_OPS_PER_STAGE, Action, Primitive
 from .mat import MatchActionTable, MatchKind, TableEntry
 from .packet import Packet, from_record
 from .parser import Parser, ParseState, default_layout, default_parser
-from .phv import PHV, PHVLayout
+from .phv import PHV, PHVBatch, PHVLayout, PHVRow
 from .pipeline import (
     DECISION_DROP,
     DECISION_FLAG,
     DECISION_FORWARD,
+    DEFAULT_TRACE_CHUNK,
     PipelineResult,
     TaurusPipeline,
+    TracePipelineResult,
+    threshold_postprocess,
 )
-from .registers import FlowFeatureAccumulator, RegisterArray
+from .registers import FlowFeatureAccumulator, RegisterArray, fnv1a_columns
 from .scheduler import PIFO, PacketQueue, RoundRobinArbiter
 from .tables import LogTransformTable, PortLikelihoodTable, StandardizeTable
 
@@ -30,14 +33,20 @@ __all__ = [
     "default_layout",
     "default_parser",
     "PHV",
+    "PHVBatch",
     "PHVLayout",
+    "PHVRow",
     "DECISION_DROP",
     "DECISION_FLAG",
     "DECISION_FORWARD",
+    "DEFAULT_TRACE_CHUNK",
     "PipelineResult",
     "TaurusPipeline",
+    "TracePipelineResult",
+    "threshold_postprocess",
     "FlowFeatureAccumulator",
     "RegisterArray",
+    "fnv1a_columns",
     "PIFO",
     "PacketQueue",
     "RoundRobinArbiter",

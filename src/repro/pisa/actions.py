@@ -12,7 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable
 
-from .phv import PHV
+import numpy as np
+
+from .phv import PHV, PHVBatch
 
 __all__ = ["Primitive", "Action", "MAX_OPS_PER_STAGE"]
 
@@ -22,11 +24,20 @@ MAX_OPS_PER_STAGE = 12
 
 @dataclass(frozen=True)
 class Primitive:
-    """One VLIW slot: dst <- fn(PHV).  ``fn`` returns the new value."""
+    """One VLIW slot: dst <- fn(PHV).  ``fn`` returns the new value.
+
+    ``batch_fn`` is the optional vectorized twin used by the batched
+    pipeline: called with ``(batch, mask)`` it returns the new values for
+    the selected rows (a scalar, a full-length column, or one value per
+    selected row).  Without it the batched path falls back to calling
+    ``fn`` once per selected row on a :class:`~repro.pisa.phv.PHVRow`
+    view — correct, just slower.
+    """
 
     dst: str
     fn: Callable[[PHV], float]
     note: str = ""
+    batch_fn: Callable[[PHVBatch, np.ndarray], np.ndarray | float] | None = None
 
 
 @dataclass
@@ -52,9 +63,40 @@ class Action:
             else:
                 phv.set(dst, value)
 
+    def apply_batch(self, batch: PHVBatch, mask: np.ndarray) -> None:
+        """Apply to every selected row of a batch, with VLIW semantics.
+
+        All slots are evaluated against the pre-action columns before any
+        write lands, exactly as :meth:`apply` stages scalar slots.
+        """
+        if not self.primitives or not mask.any():
+            return
+        staged = []
+        for p in self.primitives:
+            if p.batch_fn is not None:
+                values = p.batch_fn(batch, mask)
+            else:
+                rows = np.flatnonzero(mask)
+                values = np.array(
+                    [p.fn(batch.row(i)) for i in rows], dtype=np.float64
+                )
+            staged.append((p.dst, values))
+        for dst, values in staged:
+            batch.set_column(dst, values, where=mask)
+
     @staticmethod
     def set_const(name: str, dst: str, value: float) -> "Action":
-        return Action(name, [Primitive(dst, lambda phv, v=value: v, f"{dst}={value}")])
+        return Action(
+            name,
+            [
+                Primitive(
+                    dst,
+                    lambda phv, v=value: v,
+                    f"{dst}={value}",
+                    batch_fn=lambda batch, mask, v=value: v,
+                )
+            ],
+        )
 
     @staticmethod
     def noop(name: str = "noop") -> "Action":

@@ -5,14 +5,27 @@ The workhorse of PISA pipelines: a key built from PHV fields is matched
 entry's action runs in the stage's VLIW slots.  Flow-rule installation is
 the control plane's (slow) interface to the data plane — the baseline path
 Taurus's weight updates replace.
+
+Two lookup paths share the same winner semantics (highest priority, then
+installation order):
+
+* the scalar :meth:`MatchActionTable.lookup`, which consults a hash index
+  for exact tables and falls back to a priority-ordered scan otherwise;
+* the batched :meth:`MatchActionTable.lookup_batch`, which resolves a whole
+  :class:`~repro.pisa.phv.PHVBatch` at once — a hash-join over the key
+  columns for exact tables, broadcast mask comparisons priority-resolved
+  with ``argmax`` for ternary/LPM/range.
 """
 
 from __future__ import annotations
 
+import bisect
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .actions import Action
-from .phv import PHV
+from .phv import PHV, PHVBatch
 
 __all__ = ["MatchKind", "TableEntry", "MatchActionTable"]
 
@@ -53,12 +66,26 @@ class MatchActionTable:
     entries: list[TableEntry] = field(default_factory=list)
     lookups: int = 0
     misses: int = 0
+    #: Exact tables: full-key entry -> position of the winning entry.
+    _exact_index: dict[tuple, int] = field(
+        default_factory=dict, repr=False, compare=False
+    )
+    #: Exact tables: positions of entries with wildcarded key fields.
+    _partial_positions: list[int] = field(
+        default_factory=list, repr=False, compare=False
+    )
+    #: Index needs rebuilding before the next lookup (set by installs so
+    #: bulk rule pushes pay one O(n) rebuild, not one per entry).
+    _index_dirty: bool = field(default=True, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.kind not in MatchKind.ALL:
             raise ValueError(f"unknown match kind {self.kind!r}")
         if not self.key_fields:
             raise ValueError("a MAT needs at least one key field")
+        # Constructor-provided entries may arrive in any order; every
+        # lookup path assumes priority order (ties keep given order).
+        self.entries.sort(key=lambda e: -e.priority)
 
     # ------------------------------------------------------------------
     # Control-plane interface
@@ -70,15 +97,35 @@ class MatchActionTable:
         missing = set(entry.match) - set(self.key_fields)
         if missing:
             raise ValueError(f"match on non-key fields: {sorted(missing)}")
-        self.entries.append(entry)
-        # Ternary/range tables order by priority (highest wins).
-        self.entries.sort(key=lambda e: -e.priority)
+        # Keep entries ordered by priority (highest wins, ties keep
+        # installation order) without re-sorting the whole list per insert.
+        bisect.insort(self.entries, entry, key=lambda e: -e.priority)
+        self._index_dirty = True
 
     def remove_all(self) -> int:
         """Flush the table; returns the number of removed entries."""
         n = len(self.entries)
         self.entries.clear()
+        self._index_dirty = True
         return n
+
+    def _ensure_index(self) -> None:
+        """(Re)build the exact-match hash index lazily, once per change."""
+        if not self._index_dirty:
+            return
+        self._exact_index = {}
+        self._partial_positions = []
+        self._index_dirty = False
+        if self.kind != MatchKind.EXACT:
+            return
+        key_set = set(self.key_fields)
+        for pos, entry in enumerate(self.entries):
+            if set(entry.match) == key_set:
+                key = tuple(int(entry.match[f]) for f in self.key_fields)
+                # First (highest-priority) entry for a duplicate key wins.
+                self._exact_index.setdefault(key, pos)
+            else:
+                self._partial_positions.append(pos)
 
     @property
     def occupancy(self) -> int:
@@ -111,16 +158,120 @@ class MatchActionTable:
                     return False
         return True
 
+    def _find(self, phv: PHV) -> TableEntry | None:
+        """The winning entry (lowest position in priority order), if any."""
+        if self.kind == MatchKind.EXACT and self.entries:
+            self._ensure_index()
+            key = tuple(int(phv.get(f)) for f in self.key_fields)
+            best = self._exact_index.get(key)
+            for pos in self._partial_positions:  # ascending positions
+                if best is not None and pos > best:
+                    break
+                if self._matches(self.entries[pos], phv):
+                    best = pos if best is None else min(best, pos)
+                    break
+            return None if best is None else self.entries[best]
+        for entry in self.entries:
+            if self._matches(entry, phv):
+                return entry
+        return None
+
     def lookup(self, phv: PHV) -> Action:
         """Find the winning entry's action (or the default on a miss)."""
         self.lookups += 1
-        for entry in self.entries:
-            if self._matches(entry, phv):
-                entry.hits += 1
-                return entry.action
+        entry = self._find(phv)
+        if entry is not None:
+            entry.hits += 1
+            return entry.action
         self.misses += 1
         return self.default_action
 
     def apply(self, phv: PHV) -> None:
         """Lookup then run the action — one pipeline stage's work."""
         self.lookup(phv).apply(phv)
+
+    # ------------------------------------------------------------------
+    # Batched data-plane lookup
+    # ------------------------------------------------------------------
+    def _winners_exact(self, cols: dict[str, np.ndarray], n: int) -> np.ndarray:
+        """Hash-join the batch's key columns against the exact index."""
+        winner = np.full(n, -1, dtype=np.int64)
+        if self._exact_index:
+            keys = np.stack([cols[f] for f in self.key_fields], axis=1)
+            uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+            inverse = inverse.reshape(-1)
+            upos = np.fromiter(
+                (
+                    self._exact_index.get(tuple(int(v) for v in row), -1)
+                    for row in uniq
+                ),
+                np.int64,
+                len(uniq),
+            )
+            winner = upos[inverse]
+        # Wildcarded entries can still outrank an index hit when they sit
+        # earlier in priority order.
+        for pos in self._partial_positions:
+            entry = self.entries[pos]
+            cond = np.ones(n, dtype=bool)
+            for fname in self.key_fields:
+                if fname in entry.match:
+                    cond &= cols[fname] == int(entry.match[fname])  # type: ignore[arg-type]
+            better = cond & ((winner < 0) | (pos < winner))
+            winner[better] = pos
+        return winner
+
+    def _winners_masked(self, cols: dict[str, np.ndarray], n: int) -> np.ndarray:
+        """Broadcast mask comparison per entry, priority via ``argmax``."""
+        matched = np.ones((len(self.entries), n), dtype=bool)
+        for pos, entry in enumerate(self.entries):
+            row = matched[pos]
+            for fname in self.key_fields:
+                if fname not in entry.match:
+                    continue  # wildcard
+                col = cols[fname]
+                spec = entry.match[fname]
+                if self.kind == MatchKind.TERNARY:
+                    want, mask = spec  # type: ignore[misc]
+                    row &= (col & int(mask)) == (int(want) & int(mask))
+                elif self.kind == MatchKind.LPM:
+                    prefix, length = spec  # type: ignore[misc]
+                    shift = 32 - int(length)
+                    row &= (col >> shift) == (int(prefix) >> shift)
+                else:  # RANGE
+                    lo, hi = spec  # type: ignore[misc]
+                    row &= (col >= int(lo)) & (col <= int(hi))
+        any_hit = matched.any(axis=0)
+        # Entries are priority-ordered, so the first matching row wins.
+        return np.where(any_hit, matched.argmax(axis=0), np.int64(-1))
+
+    def lookup_batch(self, batch: PHVBatch) -> np.ndarray:
+        """Winning entry position per packet (-1 = miss), plus accounting.
+
+        Stat counters (``lookups``/``misses``/per-entry ``hits``) advance
+        exactly as ``N`` scalar lookups would.
+        """
+        n = batch.n
+        self.lookups += n
+        if not self.entries or n == 0:
+            self.misses += n
+            return np.full(n, -1, dtype=np.int64)
+        cols = {f: batch.int_column(f) for f in self.key_fields}
+        if self.kind == MatchKind.EXACT:
+            self._ensure_index()
+            winner = self._winners_exact(cols, n)
+        else:
+            winner = self._winners_masked(cols, n)
+        hit_positions, counts = np.unique(winner[winner >= 0], return_counts=True)
+        for pos, count in zip(hit_positions, counts):
+            self.entries[int(pos)].hits += int(count)
+        self.misses += int(np.count_nonzero(winner < 0))
+        return winner
+
+    def apply_batch(self, batch: PHVBatch) -> None:
+        """Batched lookup + grouped action application (one stage's work)."""
+        winner = self.lookup_batch(batch)
+        for pos in np.unique(winner):
+            mask = winner == pos
+            action = self.default_action if pos < 0 else self.entries[int(pos)].action
+            action.apply_batch(batch, mask)

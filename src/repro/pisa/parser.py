@@ -7,10 +7,13 @@ graph explicitly: states extract fields and branch on a select field.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from .packet import Packet
-from .phv import PHV, PHVLayout
+from .phv import PHV, PHVBatch, PHVLayout
 
 __all__ = ["ParseState", "Parser", "default_layout", "default_parser"]
 
@@ -71,6 +74,62 @@ class Parser:
         phv.set("payload_len", packet.payload_len)
         self.packets_parsed += 1
         return phv
+
+    def parse_batch(
+        self, headers: dict[str, np.ndarray], payload_len: np.ndarray
+    ) -> PHVBatch:
+        """Parse ``N`` packets at once from columnar header fields.
+
+        Instead of walking the state machine once per packet, the parse
+        graph is evaluated once per *reachable (state, packet-subset)*
+        pair: each worklist item carries a boolean mask of the packets
+        currently in that state, extraction is a masked column copy, and a
+        select fans the mask out per distinct transition value.  Results
+        are bit-identical to :meth:`parse` per packet — including the loop
+        guard, which trips when any packet revisits more states than the
+        graph has.
+        """
+        n = len(payload_len)
+        batch = PHVBatch(self.layout, n)
+        if n == 0:
+            self.packets_parsed += 0
+            return batch
+
+        def column(name: str) -> np.ndarray:
+            col = headers.get(name)
+            if col is None:
+                return np.zeros(n, dtype=np.int64)
+            return col if col.dtype == np.int64 else col.astype(np.int64)
+
+        visited = np.zeros(n, dtype=np.int64)
+        limit = len(self.states) + 1
+        work: deque[tuple[str, np.ndarray]] = deque(
+            [(self.start, np.ones(n, dtype=bool))]
+        )
+        while work:
+            state_name, mask = work.popleft()
+            visited[mask] += 1
+            if visited[mask].max() > limit:
+                raise RuntimeError("parse graph loop detected")
+            state = self.states[state_name]
+            for fname in state.extracts:
+                batch.set_column(fname, column(fname), where=mask)
+            if state.select is not None:
+                key = column(state.select)
+                remaining = mask.copy()
+                for value, target in state.transitions.items():
+                    sub = remaining & (key == value)
+                    if sub.any():
+                        remaining &= ~sub
+                        if target is not None:
+                            work.append((target, sub))
+                if state.default_next is not None and remaining.any():
+                    work.append((state.default_next, remaining))
+            elif state.default_next is not None:
+                work.append((state.default_next, mask))
+        batch.set_column("payload_len", payload_len)
+        self.packets_parsed += n
+        return batch
 
 
 def default_layout(feature_names: tuple[str, ...]) -> PHVLayout:

@@ -14,7 +14,7 @@ import numpy as np
 
 from ..fixpoint import FIX8, FixedPointFormat
 
-__all__ = ["PHVLayout", "PHV"]
+__all__ = ["PHVLayout", "PHV", "PHVBatch", "PHVRow"]
 
 
 @dataclass(frozen=True)
@@ -85,3 +85,183 @@ class PHV:
             )
         for name, value in zip(names, values):
             self.values[name] = float(value)
+
+
+class PHVBatch:
+    """``N`` packets' header vectors as one column per field.
+
+    The columnar twin of :class:`PHV`: the batched pipeline parses, matches,
+    and acts on these arrays instead of per-packet dicts.  Semantics mirror
+    the scalar PHV exactly — header fields are masked to their declared
+    width on write, feature fields stay float, and a per-field ``written``
+    mask stands in for dict-key presence (so "was ``decision`` explicitly
+    set?" works the same way).  Reads of never-written fields return zeros,
+    matching ``PHV.get``'s default.
+    """
+
+    __slots__ = ("layout", "n", "values", "written")
+
+    def __init__(self, layout: PHVLayout, n: int):
+        self.layout = layout
+        self.n = n
+        self.values: dict[str, np.ndarray] = {}
+        self.written: dict[str, np.ndarray] = {}
+
+    # ------------------------------------------------------------------
+    # Column access
+    # ------------------------------------------------------------------
+    def _materialize(self, name: str) -> np.ndarray:
+        col = self.values.get(name)
+        if col is None:
+            dtype = (
+                np.float64 if name in self.layout.feature_fields else np.int64
+            )
+            col = np.zeros(self.n, dtype=dtype)
+            self.values[name] = col
+            self.written[name] = np.zeros(self.n, dtype=bool)
+        return col
+
+    def column(self, name: str) -> np.ndarray:
+        """The field's value column (zeros where never written).
+
+        Returned arrays are read-only views: written fields would alias
+        live pipeline state while never-written fields are synthesized
+        zeros, so allowing in-place mutation would succeed or vanish
+        depending on history.  Write through :meth:`set_column` instead.
+        """
+        self.layout.width_of(name)  # validates the field exists
+        col = self.values.get(name)
+        if col is None:
+            dtype = np.float64 if name in self.layout.feature_fields else np.int64
+            col = np.zeros(self.n, dtype=dtype)
+        view = col[:]
+        view.flags.writeable = False
+        return view
+
+    def int_column(self, name: str) -> np.ndarray:
+        """The column as int64 (``int(phv.get(name))`` per row)."""
+        col = self.column(name)
+        if col.dtype == np.int64:
+            return col
+        return col.astype(np.int64)  # truncates toward zero, like int()
+
+    def was_written(self, name: str) -> np.ndarray:
+        """Which rows had the field explicitly set (dict-presence twin)."""
+        mask = self.written.get(name)
+        if mask is None:
+            return np.zeros(self.n, dtype=bool)
+        return mask
+
+    def set_column(self, name: str, values, where: np.ndarray | None = None) -> None:
+        """Write a field for all rows (or the rows selected by ``where``).
+
+        Applies the scalar ``PHV.set`` conversion per row: header fields
+        are truncated to int and masked to the declared width; feature
+        fields are stored as float.
+        """
+        width = self.layout.width_of(name)
+        col = self._materialize(name)
+        if name in self.layout.feature_fields:
+            vals = np.asarray(values, dtype=np.float64)
+        else:
+            vals = np.asarray(values)
+            if vals.dtype != np.int64:
+                vals = vals.astype(np.int64)  # int() truncation semantics
+            vals = vals & np.int64((1 << width) - 1)
+        if where is None:
+            col[:] = vals
+            self.written[name][:] = True
+        else:
+            # Accept a scalar, a full-length column, or one value per
+            # selected row.
+            if np.ndim(vals) > 0 and len(vals) == self.n:
+                vals = vals[where]
+            col[where] = vals
+            self.written[name][where] = True
+
+    def clear(self, name: str) -> None:
+        """Forget the field entirely (``phv.values.pop(name, None)``)."""
+        self.values.pop(name, None)
+        self.written.pop(name, None)
+
+    # ------------------------------------------------------------------
+    # Feature region
+    # ------------------------------------------------------------------
+    def feature_matrix(self, fmt: FixedPointFormat = FIX8) -> np.ndarray:
+        """The dense ``[N, D]`` feature block, fixed-point formatted.
+
+        Row ``i`` equals ``self.row(i)``-as-PHV ``feature_vector()`` —
+        the same clip + quantize roundtrip, vectorized.
+        """
+        names = self.layout.feature_fields
+        raw = np.empty((self.n, len(names)), dtype=np.float64)
+        for j, name in enumerate(names):
+            raw[:, j] = self.column(name)
+        return fmt.roundtrip(np.clip(raw, fmt.min_value, fmt.max_value))
+
+    def set_features(self, matrix: np.ndarray, where: np.ndarray | None = None) -> None:
+        """Write the feature region from an ``[N, D]`` block."""
+        names = self.layout.feature_fields
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape[1] != len(names):
+            raise ValueError(
+                f"expected {len(names)} features, got {matrix.shape[1]}"
+            )
+        for j, name in enumerate(names):
+            self.set_column(name, matrix[:, j], where=where)
+
+    # ------------------------------------------------------------------
+    # Scalar fallback
+    # ------------------------------------------------------------------
+    def row(self, i: int) -> "PHVRow":
+        """A PHV-compatible scalar view of packet ``i`` (for fallback
+        evaluation of non-vectorized callables)."""
+        return PHVRow(self, i)
+
+    def to_phv(self, i: int) -> PHV:
+        """Materialize packet ``i`` as a standalone scalar :class:`PHV`."""
+        phv = PHV(self.layout)
+        for name, col in self.values.items():
+            if self.written[name][i]:
+                if name in self.layout.feature_fields:
+                    phv.values[name] = float(col[i])
+                else:
+                    phv.values[name] = int(col[i])
+        return phv
+
+
+class PHVRow:
+    """One row of a :class:`PHVBatch`, quacking like a :class:`PHV`.
+
+    Hands non-vectorized callables (custom actions, bypass predicates) the
+    scalar view they expect; writes go back into the batch columns.
+    """
+
+    __slots__ = ("batch", "i")
+
+    def __init__(self, batch: PHVBatch, i: int):
+        self.batch = batch
+        self.i = i
+
+    @property
+    def layout(self) -> PHVLayout:
+        return self.batch.layout
+
+    def get(self, name: str, default: float = 0.0) -> float:
+        self.batch.layout.width_of(name)
+        mask = self.batch.written.get(name)
+        if mask is None or not mask[self.i]:
+            return default
+        value = self.batch.values[name][self.i]
+        if name in self.batch.layout.feature_fields:
+            return float(value)
+        return int(value)
+
+    def set(self, name: str, value: float) -> None:
+        width = self.batch.layout.width_of(name)
+        col = self.batch._materialize(name)
+        if name in self.batch.layout.feature_fields:
+            col[self.i] = float(value)
+        else:
+            col[self.i] = int(value) & ((1 << width) - 1)
+        self.batch.written[name][self.i] = True

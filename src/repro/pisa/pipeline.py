@@ -10,26 +10,44 @@ Latency accounting: a parsed packet crosses ``n_mat_stages`` single-cycle
 MAT stages plus the scheduler (the ~1 us baseline datacenter switch of
 Section 5.1.2); ML packets additionally pay the MapReduce block's compiled
 latency.
+
+Two execution paths share these semantics:
+
+* :meth:`TaurusPipeline.process` — the per-packet scalar loop, the
+  semantic oracle;
+* :meth:`TaurusPipeline.process_trace_batch` — the vectorized path, which
+  parses, matches, accumulates, scores, and decides whole chunks of a
+  columnar trace at once and is bit/stat-identical to running
+  :meth:`process` per packet (same decisions, scores, latencies, stats
+  counters, register and queue state).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
+from ..datasets.packets import TraceColumns
 from ..hw.grid import MapReduceBlock
-from ..hw.params import CLOCK_GHZ
-from .actions import Action
 from .mat import MatchActionTable
 from .packet import Packet
 from .parser import Parser, default_layout, default_parser
-from .phv import PHV
+from .phv import PHV, PHVBatch
 from .registers import FlowFeatureAccumulator
 from .scheduler import PacketQueue, RoundRobinArbiter
 
-__all__ = ["PipelineResult", "TaurusPipeline", "DECISION_FORWARD", "DECISION_DROP", "DECISION_FLAG"]
+__all__ = [
+    "PipelineResult",
+    "TracePipelineResult",
+    "TaurusPipeline",
+    "DECISION_FORWARD",
+    "DECISION_DROP",
+    "DECISION_FLAG",
+    "DEFAULT_TRACE_CHUNK",
+    "threshold_postprocess",
+]
 
 DECISION_FORWARD = 0
 DECISION_FLAG = 1
@@ -38,6 +56,39 @@ DECISION_DROP = 2
 #: Base one-way latency of the conventional switch stages (parse + MATs +
 #: queueing), Section 5.1.2's "datacenter switch latency of 1 us".
 BASE_SWITCH_LATENCY_NS = 1000.0
+
+#: Packets per vectorized pass through the batched pipeline path.
+DEFAULT_TRACE_CHUNK = 8192
+
+
+def _default_bypass(phv: PHV) -> bool:
+    """Default policy: every packet goes through ML."""
+    return False
+
+
+def threshold_postprocess(
+    threshold: float = 0.5,
+) -> tuple[Callable[[np.ndarray], int], Callable[[np.ndarray], np.ndarray]]:
+    """A matched (scalar, vectorized) postprocess pair for one threshold.
+
+    Both flag a fabric score ``>= threshold`` (the anomaly use case);
+    building them together keeps the two execution paths in lockstep.
+    """
+
+    def scalar(value: np.ndarray) -> int:
+        return (
+            DECISION_FLAG
+            if float(np.atleast_1d(value)[0]) >= threshold
+            else DECISION_FORWARD
+        )
+
+    def batch(values: np.ndarray) -> np.ndarray:
+        return np.where(values[:, 0] >= threshold, DECISION_FLAG, DECISION_FORWARD)
+
+    return scalar, batch
+
+
+_default_postprocess, _default_postprocess_batch = threshold_postprocess(0.5)
 
 
 @dataclass
@@ -50,6 +101,36 @@ class PipelineResult:
     ml_score: float | None
     latency_ns: float
     bypassed: bool
+
+
+@dataclass
+class TracePipelineResult:
+    """Columnar outcome of a whole trace's transit (arrival-time order).
+
+    The batched twin of a ``list[PipelineResult]``: position ``i`` holds
+    the ``i``-th processed packet's outcome; ``order`` maps positions back
+    to the caller's original packet sequence.  ``ml_scores`` is NaN for
+    bypassed packets (the scalar path's ``None``).
+    """
+
+    order: np.ndarray        # int64 [N] -> index into the input sequence
+    times: np.ndarray        # float64 [N]
+    decisions: np.ndarray    # int64 [N]
+    ml_scores: np.ndarray    # float64 [N], NaN where bypassed
+    latencies_ns: np.ndarray  # float64 [N]
+    bypassed: np.ndarray     # bool [N]
+    aggregates: dict[str, np.ndarray] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def flagged(self) -> int:
+        return int(np.count_nonzero(self.decisions == DECISION_FLAG))
+
+    @property
+    def dropped(self) -> int:
+        return int(np.count_nonzero(self.decisions == DECISION_DROP))
 
 
 @dataclass
@@ -68,14 +149,20 @@ class TaurusPipeline:
     postprocess:
         Maps the fabric's numeric output to a decision code; default
         thresholds score >= 0.5 as FLAG (the anomaly use case).
+    bypass_predicate_batch / postprocess_batch:
+        Optional vectorized twins used by :meth:`process_trace_batch`
+        (``PHVBatch -> bool[N]`` and ``values[N, W] -> int[N]``).  When a
+        custom scalar hook has no batched twin, the batched path falls
+        back to calling the scalar hook per packet — still correct, just
+        slower.
     """
 
     block: MapReduceBlock | None
     feature_names: tuple[str, ...]
-    bypass_predicate: Callable[[PHV], bool] = field(default=lambda phv: False)
-    postprocess: Callable[[np.ndarray], int] = field(
-        default=lambda value: DECISION_FLAG if float(np.atleast_1d(value)[0]) >= 0.5 else DECISION_FORWARD
-    )
+    bypass_predicate: Callable[[PHV], bool] = field(default=_default_bypass)
+    postprocess: Callable[[np.ndarray], int] = field(default=_default_postprocess)
+    bypass_predicate_batch: Callable[[PHVBatch], np.ndarray] | None = None
+    postprocess_batch: Callable[[np.ndarray], np.ndarray] | None = None
     parser: Parser = field(init=False)
     preprocess_tables: list[MatchActionTable] = field(default_factory=list)
     postprocess_tables: list[MatchActionTable] = field(default_factory=list)
@@ -170,6 +257,191 @@ class TaurusPipeline:
     def process_trace(self, packets: list[Packet]) -> list[PipelineResult]:
         """Convenience: run a list of packets in arrival order."""
         return [self.process(p) for p in sorted(packets, key=lambda p: p.arrival_time)]
+
+    # ------------------------------------------------------------------
+    # Batched trace processing
+    # ------------------------------------------------------------------
+    def process_trace_batch(
+        self, trace, chunk_size: int = DEFAULT_TRACE_CHUNK
+    ) -> TracePipelineResult:
+        """The whole trace through the vectorized pipeline path.
+
+        ``trace`` is either a :class:`~repro.datasets.packets.PacketTrace`
+        (its cached :meth:`~repro.datasets.packets.PacketTrace.columns`
+        feed the pipeline directly) or a list of :class:`Packet` objects
+        (columns are built on the fly, and flow aggregates are written
+        back into each packet's ``metadata`` as the scalar loop does).
+
+        Packets stream through in arrival order, ``chunk_size`` at a time:
+        vectorized parse, batched flow-register accumulation, batched MAT
+        stages, a chunked pass through the MapReduce block's batched graph
+        interpreter for non-bypass packets, and vectorized decisions.
+        Every observable effect — results, ``stats``, MAT counters,
+        register contents, queue watermarks, the block's issue clock —
+        matches the scalar loop exactly.
+        """
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        if isinstance(trace, TraceColumns):
+            columns, packets = trace, None
+        elif hasattr(trace, "columns"):
+            columns, packets = trace.columns(), None
+        else:
+            packets = list(trace)
+            columns = TraceColumns.from_packets(packets)
+
+        n = columns.n
+        order = np.argsort(columns.times, kind="stable")
+        if not np.array_equal(order, np.arange(n)):
+            columns = columns.take(order)
+            if packets is not None:
+                packets = [packets[i] for i in order]
+
+        decisions = np.zeros(n, dtype=np.int64)
+        scores = np.full(n, np.nan)
+        latencies = np.empty(n, dtype=np.float64)
+        bypassed = np.zeros(n, dtype=bool)
+        aggregates: dict[str, list[np.ndarray]] = {}
+
+        for start in range(0, n, chunk_size):
+            sl = slice(start, min(start + chunk_size, n))
+            chunk = columns.slice(sl)
+            chunk_packets = None if packets is None else packets[sl]
+            dec, sc, lat, byp, agg = self._process_chunk(chunk, chunk_packets)
+            decisions[sl] = dec
+            scores[sl] = sc
+            latencies[sl] = lat
+            bypassed[sl] = byp
+            for key, values in agg.items():
+                aggregates.setdefault(key, []).append(values)
+
+        return TracePipelineResult(
+            order=order,
+            times=columns.times,
+            decisions=decisions,
+            ml_scores=scores,
+            latencies_ns=latencies,
+            bypassed=bypassed,
+            aggregates={
+                key: np.concatenate(parts) for key, parts in aggregates.items()
+            },
+        )
+
+    def _process_chunk(self, chunk: TraceColumns, chunk_packets):
+        """One chunk through every pipeline stage, vectorized."""
+        m = chunk.n
+        batch = self.parser.parse_batch(chunk.headers, chunk.payload_len)
+
+        agg = self.accumulator.update_batch(
+            chunk.five_tuple_columns(),
+            chunk.sizes,
+            chunk.header("urgent_flag") != 0,
+            chunk.times,
+        )
+        if chunk_packets is not None:
+            for j, packet in enumerate(chunk_packets):
+                meta = packet.metadata
+                for key, values in agg.items():
+                    meta[key] = float(values[j])
+
+        if chunk.features is not None and chunk.has_features.any():
+            batch.set_features(chunk.features, where=chunk.has_features)
+
+        for table in self.preprocess_tables:
+            table.apply_batch(batch)
+
+        bypass = self._bypass_mask(batch)
+        if self.block is None:
+            bypass = np.ones(m, dtype=bool)
+        batch.set_column("ml_bypass", bypass.astype(np.int64))
+
+        ml = ~bypass
+        n_ml = int(np.count_nonzero(ml))
+        chunk_scores = np.full(m, np.nan)
+        chunk_decisions = np.zeros(m, dtype=np.int64)
+        chunk_latencies = np.full(m, BASE_SWITCH_LATENCY_NS)
+        self.stats["bypass"] += m - n_ml
+        if n_ml:
+            self.stats["ml"] += n_ml
+            result = self.block.run_batch(batch.feature_matrix()[ml])
+            values = result.values
+            ml_scores = values[:, 0]
+            chunk_scores[ml] = ml_scores
+            batch.set_column(
+                "ml_score",
+                (np.abs(ml_scores) * 256).astype(np.int64) & 0xFFFF,
+                where=ml,
+            )
+            chunk_latencies[ml] = BASE_SWITCH_LATENCY_NS + result.latency_ns
+            chunk_decisions[ml] = self._decide(values)
+
+        batch.clear("decision")
+        for table in self.postprocess_tables:
+            table.apply_batch(batch)
+        overridden = batch.was_written("decision")
+        if overridden.any():
+            chunk_decisions[overridden] = batch.int_column("decision")[overridden]
+
+        self.stats["dropped"] += int(
+            np.count_nonzero(chunk_decisions == DECISION_DROP)
+        )
+        self.stats["flagged"] += int(
+            np.count_nonzero(chunk_decisions == DECISION_FLAG)
+        )
+        self._account_queue_transit(bypass, chunk_packets)
+        return chunk_decisions, chunk_scores, chunk_latencies, bypass, agg
+
+    def _bypass_mask(self, batch: PHVBatch) -> np.ndarray:
+        """Evaluate the bypass predicate over a batch."""
+        if self.bypass_predicate_batch is not None:
+            return np.asarray(self.bypass_predicate_batch(batch), dtype=bool)
+        if self.bypass_predicate is _default_bypass:
+            return np.zeros(batch.n, dtype=bool)
+        return np.fromiter(
+            (bool(self.bypass_predicate(batch.row(i))) for i in range(batch.n)),
+            bool,
+            batch.n,
+        )
+
+    def _decide(self, values: np.ndarray) -> np.ndarray:
+        """Map fabric outputs ``[N, W]`` to decision codes ``[N]``."""
+        if self.postprocess_batch is not None:
+            return np.asarray(self.postprocess_batch(values), dtype=np.int64)
+        if self.postprocess is _default_postprocess:
+            return _default_postprocess_batch(values).astype(np.int64)
+        return np.fromiter(
+            (int(self.postprocess(row)) for row in values), np.int64, len(values)
+        )
+
+    def _account_queue_transit(self, bypass: np.ndarray, chunk_packets) -> None:
+        """Replicate the scalar per-packet queue/arbiter state updates.
+
+        The scalar loop pushes each packet onto its sub-queue and
+        immediately drains one via the round-robin arbiter, so queue depth
+        never exceeds one and the arbiter always pops the packet just
+        pushed.  With empty queues that collapses to a closed form
+        (watermarks hit one, the turn follows the last packet); if a
+        caller left items queued, fall back to replaying the sequence.
+        """
+        m = len(bypass)
+        if m == 0:
+            return
+        queues = (self.ml_queue, self.bypass_queue)
+        if any(len(q) for q in queues) or any(q.capacity < 1 for q in queues):
+            for j in range(m):
+                queue = self.bypass_queue if bypass[j] else self.ml_queue
+                queue.push(None if chunk_packets is None else chunk_packets[j])
+                self.arbiter.select()
+            return
+        n_bypass = int(np.count_nonzero(bypass))
+        if n_bypass < m:
+            self.ml_queue.high_watermark = max(self.ml_queue.high_watermark, 1)
+        if n_bypass:
+            self.bypass_queue.high_watermark = max(
+                self.bypass_queue.high_watermark, 1
+            )
+        last_queue = 1 if bypass[-1] else 0  # arbiter order: [ml, bypass]
+        self.arbiter._turn = (last_queue + 1) % len(self.arbiter.queues)
 
     @property
     def added_latency_ns(self) -> float:

@@ -13,7 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["RegisterArray", "FlowFeatureAccumulator"]
+__all__ = ["RegisterArray", "FlowFeatureAccumulator", "fnv1a_columns"]
 
 
 def _fnv1a(key: tuple) -> int:
@@ -23,6 +23,26 @@ def _fnv1a(key: tuple) -> int:
         for byte in int(part).to_bytes(8, "little", signed=False):
             acc ^= byte
             acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc
+
+
+def fnv1a_columns(columns) -> np.ndarray:
+    """Vectorized :func:`_fnv1a` over N keys given as per-component columns.
+
+    ``columns`` is a sequence of arrays (one per key component, aligned by
+    row); returns a uint64 hash per row, bit-identical to hashing each
+    row's tuple with the scalar function.  uint64 arithmetic wraps mod
+    2**64, matching the scalar mask.
+    """
+    columns = [np.asarray(col) for col in columns]
+    n = len(columns[0]) if columns else 0
+    acc = np.full(n, 0xCBF29CE484222325, dtype=np.uint64)
+    prime = np.uint64(0x100000001B3)
+    byte_mask = np.uint64(0xFF)
+    for col in columns:
+        c = col.astype(np.uint64)
+        for shift in range(0, 64, 8):  # little-endian byte order
+            acc = (acc ^ ((c >> np.uint64(shift)) & byte_mask)) * prime
     return acc
 
 
@@ -57,6 +77,10 @@ class RegisterArray:
 
     def write(self, key: tuple, value: int) -> None:
         self.values[self.index_of(key)] = min(int(value), self.max_value)
+
+    def index_columns(self, columns) -> np.ndarray:
+        """Vectorized :meth:`index_of`: one slot index per key row."""
+        return (fnv1a_columns(columns) % np.uint64(self.size)).astype(np.int64)
 
     def clear(self) -> None:
         self.values[:] = 0
@@ -96,4 +120,101 @@ class FlowFeatureAccumulator:
             "flow_bytes": size,
             "flow_urgent": urg,
             "flow_duration_ms": duration_ms,
+        }
+
+    def update_batch(
+        self,
+        key_columns,
+        sizes: np.ndarray,
+        urgent: np.ndarray,
+        times: np.ndarray,
+    ) -> dict[str, np.ndarray]:
+        """Apply ``N`` packets in order; returns per-packet aggregates.
+
+        Bit-identical to ``N`` sequential :meth:`update` calls — including
+        hash collisions (keys landing on one slot share its registers) and
+        per-step saturation, which for these non-negative increments
+        reduces to clipping a within-slot running sum.  Packets are grouped
+        by register slot with a stable sort, so arrival order is respected
+        inside every slot.
+
+        Parameters
+        ----------
+        key_columns:
+            Sequence of arrays, one per five-tuple component.
+        sizes:
+            Per-packet byte counts (non-negative).
+        urgent:
+            Per-packet urgent-flag booleans.
+        times:
+            Per-packet arrival times in seconds.
+        """
+        sizes = np.asarray(sizes, dtype=np.int64)
+        n = len(sizes)
+        if n == 0:
+            empty = np.zeros(0, dtype=np.int64)
+            return {
+                "flow_pkts": empty,
+                "flow_bytes": empty.copy(),
+                "flow_urgent": empty.copy(),
+                "flow_duration_ms": empty.copy(),
+            }
+        urgent_amt = np.asarray(urgent, dtype=bool).astype(np.int64)
+        now_ms = (np.asarray(times, dtype=np.float64) * 1e3).astype(np.int64)
+        # All four arrays share the slot count, hence the slot index.
+        idx = self.packet_count.index_columns(key_columns)
+
+        # Group packets by slot, preserving arrival order within a slot.
+        order = np.argsort(idx, kind="stable")
+        sidx = idx[order]
+        starts = np.ones(n, dtype=bool)
+        starts[1:] = sidx[1:] != sidx[:-1]
+        seg_first = np.flatnonzero(starts)             # first position per slot
+        seg_id = np.cumsum(starts) - 1
+        first_of = seg_first[seg_id]                   # segment start, per position
+        rank = np.arange(n, dtype=np.int64) - first_of  # 0-based within slot
+
+        slots = sidx[seg_first]
+        init_pkts = self.packet_count.values[slots][seg_id]
+        init_bytes = self.byte_count.values[slots][seg_id]
+        init_urgent = self.urgent_count.values[slots][seg_id]
+
+        def running(amounts: np.ndarray, init: np.ndarray, reg: RegisterArray):
+            csum = np.cumsum(amounts)
+            before_segment = csum[first_of] - amounts[first_of]
+            return np.minimum(init + (csum - before_segment), reg.max_value)
+
+        pkts = np.minimum(init_pkts + rank + 1, self.packet_count.max_value)
+        bytes_run = running(sizes[order], init_bytes, self.byte_count)
+        urgent_run = running(urgent_amt[order], init_urgent, self.urgent_count)
+
+        # First-seen: set by the first packet of a slot whose pre-batch
+        # packet count is zero (saturating write, as the scalar path does).
+        now_sorted = now_ms[order]
+        fresh = self.packet_count.values[slots] == 0
+        fs_per_slot = np.where(
+            fresh,
+            np.minimum(now_sorted[seg_first], self.first_seen_ms.max_value),
+            self.first_seen_ms.values[slots],
+        )
+        first_seen = fs_per_slot[seg_id]
+        duration = now_sorted - first_seen
+
+        # Write the per-slot final state back into the register arrays.
+        seg_last = np.append(seg_first[1:] - 1, n - 1)
+        self.packet_count.values[slots] = pkts[seg_last]
+        self.byte_count.values[slots] = bytes_run[seg_last]
+        self.urgent_count.values[slots] = urgent_run[seg_last]
+        self.first_seen_ms.values[slots] = fs_per_slot
+
+        def unsort(values: np.ndarray) -> np.ndarray:
+            out = np.empty(n, dtype=np.int64)
+            out[order] = values
+            return out
+
+        return {
+            "flow_pkts": unsort(pkts),
+            "flow_bytes": unsort(bytes_run),
+            "flow_urgent": unsort(urgent_run),
+            "flow_duration_ms": unsort(duration),
         }

@@ -9,6 +9,16 @@ through the quantized model.  The exact-activation lowering makes the graph
 bit-identical to :class:`~repro.fixpoint.quantize.QuantizedModel`, and
 :meth:`TaurusDataPlane.verify_equivalence` now re-checks that over the
 **full trace** per run (the old behaviour was a 32-sample spot check).
+
+Two trace-scale entry points:
+
+* :meth:`TaurusDataPlane.run` — the scoring shortcut: features go straight
+  from the trace's cached columns into the graph interpreter.
+* :meth:`TaurusDataPlane.run_switch` — the full switch model: the trace
+  transits a complete :class:`~repro.pisa.TaurusPipeline` (vectorized
+  parser, flow registers, MAT stages, bypass split, batched MapReduce
+  scoring, decisions) via
+  :meth:`~repro.pisa.TaurusPipeline.process_trace_batch`.
 """
 
 from __future__ import annotations
@@ -18,9 +28,11 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..datasets import PacketTrace
+from ..datasets.nslkdd import DNN_FEATURES
 from ..fixpoint import QuantizedModel
 from ..hw.grid import MapReduceBlock
 from ..mapreduce import dnn_graph
+from ..pisa import DECISION_FLAG, TaurusPipeline, threshold_postprocess
 
 __all__ = ["DataPlaneResult", "TaurusDataPlane", "DEFAULT_CHUNK_SIZE"]
 
@@ -39,6 +51,29 @@ class DataPlaneResult:
     added_latency_ns: float
     n_packets: int
     flagged_packets: int
+
+
+def _detection_result(
+    preds: np.ndarray, labels: np.ndarray, added_latency_ns: float
+) -> DataPlaneResult:
+    """Detection / F1 accounting shared by the scoring and switch paths."""
+    tp = int(np.sum((preds == 1) & (labels == 1)))
+    fp = int(np.sum((preds == 1) & (labels == 0)))
+    fn = int(np.sum((preds == 0) & (labels == 1)))
+    precision = tp / max(tp + fp, 1)
+    recall = tp / max(tp + fn, 1)
+    f1 = (
+        100.0 * 2 * precision * recall / (precision + recall)
+        if precision + recall > 0
+        else 0.0
+    )
+    return DataPlaneResult(
+        detected_percent=100.0 * tp / max(tp + fn, 1),
+        f1_percent=f1,
+        added_latency_ns=added_latency_ns,
+        n_packets=len(preds),
+        flagged_packets=int(preds.sum()),
+    )
 
 
 class TaurusDataPlane:
@@ -74,27 +109,47 @@ class TaurusDataPlane:
         self, trace: PacketTrace, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> DataPlaneResult:
         """Score every packet through the graph path, streamed in chunks."""
-        feats = np.stack([p.features for p in trace.packets])
-        labels = np.array([p.label for p in trace.packets])
-        scores = self._stream_scores(feats, chunk_size)
+        columns = trace.columns()
+        scores = self._stream_scores(columns.features, chunk_size)
         preds = (scores >= self.threshold).astype(np.int64)
-        tp = int(np.sum((preds == 1) & (labels == 1)))
-        fp = int(np.sum((preds == 1) & (labels == 0)))
-        fn = int(np.sum((preds == 0) & (labels == 1)))
-        precision = tp / max(tp + fp, 1)
-        recall = tp / max(tp + fn, 1)
-        f1 = (
-            100.0 * 2 * precision * recall / (precision + recall)
-            if precision + recall > 0
-            else 0.0
+        return _detection_result(preds, columns.labels, self.block.latency_ns)
+
+    # ------------------------------------------------------------------
+    # Full switch model
+    # ------------------------------------------------------------------
+    def build_pipeline(
+        self, feature_names: tuple[str, ...] = DNN_FEATURES
+    ) -> TaurusPipeline:
+        """A complete PISA pipeline around the exact-activation block.
+
+        Postprocess thresholds the fabric score at this data plane's
+        ``threshold`` (scalar hook + vectorized twin, so both execution
+        paths stay fast and identical).
+        """
+        scalar_post, batch_post = threshold_postprocess(self.threshold)
+        return TaurusPipeline(
+            block=self.exact_block,
+            feature_names=feature_names,
+            postprocess=scalar_post,
+            postprocess_batch=batch_post,
         )
-        return DataPlaneResult(
-            detected_percent=100.0 * tp / max(tp + fn, 1),
-            f1_percent=f1,
-            added_latency_ns=self.block.latency_ns,
-            n_packets=len(trace.packets),
-            flagged_packets=int(preds.sum()),
-        )
+
+    def run_switch(
+        self, trace: PacketTrace, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> DataPlaneResult:
+        """The trace through the *entire* switch model, batched.
+
+        Unlike :meth:`run` (which shortcuts features into the graph
+        interpreter), every packet transits parse -> flow registers ->
+        preprocessing -> MapReduce -> postprocessing, and detection is
+        scored from the pipeline's *decisions*.  A fresh pipeline is built
+        per call so repeated runs see identical register state.
+        """
+        pipeline = self.build_pipeline()
+        outcome = pipeline.process_trace_batch(trace, chunk_size=chunk_size)
+        labels = trace.columns().labels[outcome.order]
+        preds = (outcome.decisions == DECISION_FLAG).astype(np.int64)
+        return _detection_result(preds, labels, self.block.latency_ns)
 
     def verify_equivalence(
         self,
@@ -110,7 +165,7 @@ class TaurusDataPlane:
         quantized model; pass ``n_samples`` to restrict the check to an
         evenly spaced subsample (the legacy spot-check).
         """
-        feats = np.stack([p.features for p in trace.packets])
+        feats = trace.columns().features
         if n_samples is not None:
             step = max(1, len(feats) // n_samples)
             feats = feats[::step][:n_samples]

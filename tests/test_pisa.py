@@ -106,6 +106,77 @@ class TestParser:
             )
 
 
+class TestParserLoopDetection:
+    def _looping_parser(self):
+        from repro.pisa import ParseState, Parser
+
+        return Parser(
+            default_layout(("f0",)),
+            {
+                "start": ParseState(name="start", default_next="spin"),
+                "spin": ParseState(name="spin", default_next="start"),
+            },
+        )
+
+    def test_scalar_parse_raises(self):
+        parser = self._looping_parser()
+        with pytest.raises(RuntimeError, match="parse graph loop detected"):
+            parser.parse(Packet(headers={"protocol": 0}))
+
+    def test_batch_parse_raises(self):
+        parser = self._looping_parser()
+        with pytest.raises(RuntimeError, match="parse graph loop detected"):
+            parser.parse_batch(
+                {"protocol": np.zeros(4, dtype=np.int64)},
+                np.zeros(4, dtype=np.int64),
+            )
+
+    def test_select_loop_detected(self):
+        """A loop reached through a select branch also trips the guard."""
+        from repro.pisa import ParseState, Parser
+
+        parser = Parser(
+            default_layout(("f0",)),
+            {
+                "start": ParseState(
+                    name="start", select="protocol",
+                    transitions={0: "start"}, default_next=None,
+                ),
+            },
+        )
+        with pytest.raises(RuntimeError, match="parse graph loop detected"):
+            parser.parse(Packet(headers={"protocol": 0}))
+
+
+class TestBatchParser:
+    def test_batch_matches_scalar_paths(self):
+        layout = default_layout(("f0",))
+        scalar = default_parser(layout)
+        batch_parser = default_parser(layout)
+        packets = [
+            Packet(headers={"protocol": 0, "src_port": 1234, "dst_port": 80,
+                            "urgent_flag": 1, "src_ip": 1, "dst_ip": 2, "seq": 9},
+                   payload_len=10),
+            Packet(headers={"protocol": 1, "src_port": 53, "urgent_flag": 1},
+                   payload_len=20),
+            Packet(headers={"protocol": 7, "src_port": 9}, payload_len=30),
+        ]
+        n = len(packets)
+        field_names = {name for p in packets for name in p.headers}
+        headers = {
+            name: np.array([int(p.headers.get(name, 0)) for p in packets],
+                           dtype=np.int64)
+            for name in field_names
+        }
+        payload = np.array([p.payload_len for p in packets], dtype=np.int64)
+        out = batch_parser.parse_batch(headers, payload)
+        for i, packet in enumerate(packets):
+            expected = scalar.parse(packet)
+            materialized = out.to_phv(i)
+            assert materialized.values == expected.values, f"packet {i}"
+        assert batch_parser.packets_parsed == n
+
+
 class TestActions:
     def test_vliw_width_enforced(self):
         prims = [Primitive("ml_score", lambda phv: 1.0)] * (MAX_OPS_PER_STAGE + 1)
@@ -205,6 +276,89 @@ class TestMAT:
         assert table.remove_all() == 1
         assert table.occupancy == 0
 
+    def test_install_keeps_priority_then_insertion_order(self):
+        """bisect-based install == full re-sort: ties keep install order."""
+        table = MatchActionTable(
+            name="t", key_fields=("dst_port",), kind=MatchKind.TERNARY,
+            max_entries=16,
+        )
+        entries = [
+            TableEntry({"dst_port": (i, 0xFFFF)}, Action.noop(f"a{i}"), priority=p)
+            for i, p in enumerate([1, 5, 1, 9, 5, 0])
+        ]
+        for e in entries:
+            table.install(e)
+        names = [e.action.name for e in table.entries]
+        assert names == ["a3", "a1", "a4", "a0", "a2", "a5"]
+
+    def test_exact_index_consulted_and_wildcard_wins_by_position(self):
+        table = MatchActionTable(
+            name="t", key_fields=("protocol", "dst_port"), kind=MatchKind.EXACT
+        )
+        table.install(
+            TableEntry({"protocol": 0, "dst_port": 80},
+                       Action.set_const("full", "decision", 1), priority=1)
+        )
+        table.install(
+            TableEntry({"protocol": 0},
+                       Action.set_const("wild", "decision", 2), priority=9)
+        )
+        hit = _phv(protocol=0, dst_port=80)
+        table.apply(hit)
+        # The wildcard entry has higher priority, so it must win even
+        # though the full-key entry sits in the hash index.
+        assert hit.get("decision") == 2
+        other = _phv(protocol=0, dst_port=22)
+        table.apply(other)
+        assert other.get("decision") == 2
+        miss = _phv(protocol=3, dst_port=80)
+        table.apply(miss)
+        assert table.misses == 1
+
+    def test_constructor_entries_sorted_by_priority(self):
+        """Entries passed at construction get the same priority order
+        install() maintains (the old code only repaired on first sort)."""
+        low = TableEntry({"dst_port": (0, 0)}, Action.set_const("lo", "decision", 1),
+                         priority=1)
+        high = TableEntry({"dst_port": (80, 0xFFFF)},
+                          Action.set_const("hi", "decision", 2), priority=10)
+        table = MatchActionTable(
+            name="t", key_fields=("dst_port",), kind=MatchKind.TERNARY,
+            entries=[low, high],
+        )
+        phv = _phv(dst_port=80)
+        table.apply(phv)
+        assert phv.get("decision") == 2
+
+    def test_batch_column_views_are_read_only(self):
+        from repro.pisa.phv import PHVBatch
+
+        batch = PHVBatch(default_layout(("f0", "f1")), 4)
+        batch.set_column("dst_port", np.array([1, 2, 3, 4]))
+        for name in ("dst_port", "src_port"):  # written and never-written
+            with pytest.raises(ValueError):
+                batch.column(name)[0] = 99
+        assert batch.column("dst_port")[0] == 1
+
+    def test_lookup_batch_counters_match_scalar(self):
+        def build():
+            t = MatchActionTable(
+                name="t", key_fields=("dst_port",), kind=MatchKind.RANGE
+            )
+            t.install(TableEntry({"dst_port": (0, 100)}, Action.noop(), priority=1))
+            t.install(TableEntry({"dst_port": (50, 200)}, Action.noop(), priority=9))
+            return t
+        scalar_t, batch_t = build(), build()
+        ports = [10, 60, 150, 999, 60]
+        for port in ports:
+            scalar_t.lookup(_phv(dst_port=port))
+        from repro.pisa.phv import PHVBatch
+        batch = PHVBatch(default_layout(("f0", "f1")), len(ports))
+        batch.set_column("dst_port", np.array(ports))
+        batch_t.lookup_batch(batch)
+        assert (scalar_t.lookups, scalar_t.misses) == (batch_t.lookups, batch_t.misses)
+        assert [e.hits for e in scalar_t.entries] == [e.hits for e in batch_t.entries]
+
 
 class TestRegisters:
     def test_saturating_add(self):
@@ -213,6 +367,21 @@ class TestRegisters:
         for __ in range(100):
             reg.add(key)
         assert reg.read(key) == 15  # saturates at 2^4 - 1
+
+    def test_add_saturates_exactly_at_width(self):
+        """One big add clips to 2^width_bits - 1, not a wrapped value."""
+        reg = RegisterArray(size=4, width_bits=8)
+        key = (9, 9, 9, 9, 9)
+        assert reg.add(key, amount=1_000_000) == 255
+        assert reg.add(key, amount=1) == 255  # stays pinned at the ceiling
+
+    def test_write_saturates_at_width(self):
+        reg = RegisterArray(size=4, width_bits=16)
+        key = (1, 1, 1, 1, 1)
+        reg.write(key, 1 << 40)
+        assert reg.read(key) == (1 << 16) - 1
+        reg.write(key, 123)
+        assert reg.read(key) == 123
 
     def test_deterministic_indexing(self):
         reg = RegisterArray(size=1024)
@@ -235,6 +404,81 @@ class TestRegisters:
         keys = [(i, 0, 0, 0, 0) for i in range(20)]
         indices = {reg.index_of(k) for k in keys}
         assert indices <= {0, 1}
+
+    def test_vectorized_hash_matches_scalar(self):
+        from repro.pisa import fnv1a_columns
+        from repro.pisa.registers import _fnv1a
+
+        rng = np.random.default_rng(3)
+        keys = [tuple(int(v) for v in rng.integers(0, 2**32, size=5))
+                for __ in range(64)]
+        cols = [np.array([k[j] for k in keys], dtype=np.int64) for j in range(5)]
+        assert np.array_equal(
+            fnv1a_columns(cols),
+            np.array([_fnv1a(k) for k in keys], dtype=np.uint64),
+        )
+        reg = RegisterArray(size=77)
+        assert np.array_equal(
+            reg.index_columns(cols),
+            np.array([reg.index_of(k) for k in keys]),
+        )
+
+    def test_update_batch_matches_sequential_updates(self):
+        """Order-respecting batch accumulation == N scalar updates,
+        including collisions, saturation, and first-seen tracking."""
+        rng = np.random.default_rng(5)
+        n = 300
+        keys = [tuple(int(v) for v in rng.integers(0, 8, size=5)) for __ in range(n)]
+        sizes = rng.integers(64, 1500, size=n)
+        urgent = rng.random(n) < 0.4
+        times = np.sort(rng.uniform(0.0, 2.0, size=n))
+
+        scalar_acc = FlowFeatureAccumulator(slots=16)
+        # Tiny byte-count width so saturation actually engages mid-run.
+        scalar_acc.byte_count = RegisterArray(16, width_bits=12)
+        batch_acc = FlowFeatureAccumulator(slots=16)
+        batch_acc.byte_count = RegisterArray(16, width_bits=12)
+
+        scalar_out = [
+            scalar_acc.update(keys[i], int(sizes[i]), bool(urgent[i]), float(times[i]))
+            for i in range(n)
+        ]
+        cols = [np.array([k[j] for k in keys], dtype=np.int64) for j in range(5)]
+        batch_out = batch_acc.update_batch(cols, sizes, urgent, times)
+
+        for field_name in ("flow_pkts", "flow_bytes", "flow_urgent", "flow_duration_ms"):
+            assert np.array_equal(
+                np.array([o[field_name] for o in scalar_out]),
+                batch_out[field_name],
+            ), field_name
+        for reg in ("packet_count", "byte_count", "urgent_count", "first_seen_ms"):
+            assert np.array_equal(
+                getattr(scalar_acc, reg).values, getattr(batch_acc, reg).values
+            ), reg
+
+    def test_update_batch_split_equals_one_shot(self):
+        """Chunked batches carry register state across the boundary."""
+        rng = np.random.default_rng(9)
+        n = 100
+        cols = [rng.integers(0, 4, size=n).astype(np.int64) for __ in range(5)]
+        sizes = rng.integers(64, 1500, size=n)
+        urgent = rng.random(n) < 0.5
+        times = np.sort(rng.uniform(0.0, 1.0, size=n))
+
+        one = FlowFeatureAccumulator(slots=8)
+        whole = one.update_batch(cols, sizes, urgent, times)
+        two = FlowFeatureAccumulator(slots=8)
+        first = two.update_batch(
+            [c[:60] for c in cols], sizes[:60], urgent[:60], times[:60]
+        )
+        second = two.update_batch(
+            [c[60:] for c in cols], sizes[60:], urgent[60:], times[60:]
+        )
+        for field_name in whole:
+            assert np.array_equal(
+                whole[field_name],
+                np.concatenate([first[field_name], second[field_name]]),
+            ), field_name
 
 
 class TestLookupTables:

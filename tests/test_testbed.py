@@ -169,13 +169,14 @@ class TestExperimentReusesTaurusPass:
             n_connections=400, max_packets=4000, epochs=2, seed=0
         )
         calls = {"run": 0}
-        original = dataplane_mod.TaurusDataPlane.run
+        # The default Taurus pass is the full batched switch model.
+        original = dataplane_mod.TaurusDataPlane.run_switch
 
         def counting_run(self, trace, chunk_size=dataplane_mod.DEFAULT_CHUNK_SIZE):
             calls["run"] += 1
             return original(self, trace, chunk_size)
 
-        monkeypatch.setattr(dataplane_mod.TaurusDataPlane, "run", counting_run)
+        monkeypatch.setattr(dataplane_mod.TaurusDataPlane, "run_switch", counting_run)
         rows = experiment.run(sampling_rates=(1e-4, 1e-3, 1e-2))
         assert calls["run"] == 1
         # The rows are unchanged: every one carries the single shared pass.
