@@ -28,6 +28,7 @@ from .mapreduce import (
     svm_graph,
 )
 from .pisa import TaurusPipeline
+from .runtime import ShardedRuntime
 
 __version__ = "1.0.0"
 
@@ -51,5 +52,6 @@ __all__ = [
     "lstm_graph",
     "svm_graph",
     "TaurusPipeline",
+    "ShardedRuntime",
     "__version__",
 ]

@@ -17,7 +17,13 @@ from ..compiler.place_route import GridSpec, Placement, place_and_route
 from ..hw.asic import OverheadReport, TaurusChip
 from ..hw.grid import MapReduceBlock
 from ..mapreduce.ir import DataflowGraph
-from ..pisa import Packet, PipelineResult, TaurusPipeline
+from ..pisa import (
+    Packet,
+    PipelineResult,
+    TaurusPipeline,
+    TracePipelineResult,
+    threshold_postprocess,
+)
 from .config import TaurusConfig
 
 __all__ = ["TaurusSwitch"]
@@ -45,20 +51,48 @@ class TaurusSwitch:
         config: TaurusConfig | None = None,
         postprocess=None,
         bypass_predicate=None,
+        postprocess_batch=None,
+        bypass_predicate_batch=None,
     ) -> "TaurusSwitch":
-        """Configure a switch with a compiled MapReduce program."""
+        """Configure a switch with a compiled MapReduce program.
+
+        Decision hooks come in matched scalar/vectorized pairs.  When
+        neither ``postprocess`` nor ``postprocess_batch`` is given, both
+        default to thresholding at ``config.decision_threshold``, so
+        batched trace runs stay on the vectorized path out of the box.
+        Supplying a custom scalar hook without its batched twin is still
+        correct — the batched pipeline falls back to per-row evaluation —
+        just slower; supply both to keep trace replay fast (and keep them
+        semantically identical: the scalar hook remains the oracle).
+        Supplying only a batched hook is rejected: without its scalar
+        oracle the two execution paths could silently diverge.
+        """
         config = config or TaurusConfig()
+        if postprocess_batch is not None and postprocess is None:
+            raise ValueError(
+                "postprocess_batch needs its scalar postprocess oracle"
+            )
+        if bypass_predicate_batch is not None and bypass_predicate is None:
+            raise ValueError(
+                "bypass_predicate_batch needs its scalar bypass_predicate oracle"
+            )
         block = MapReduceBlock(
             graph,
             geometry=config.geometry,
             cu_budget=config.n_cus,
             mu_budget=config.n_mus,
         )
-        kwargs = {}
-        if postprocess is not None:
-            kwargs["postprocess"] = postprocess
+        if postprocess is None:
+            postprocess, postprocess_batch = threshold_postprocess(
+                config.decision_threshold
+            )
+        kwargs = {"postprocess": postprocess}
+        if postprocess_batch is not None:
+            kwargs["postprocess_batch"] = postprocess_batch
         if bypass_predicate is not None:
             kwargs["bypass_predicate"] = bypass_predicate
+        if bypass_predicate_batch is not None:
+            kwargs["bypass_predicate_batch"] = bypass_predicate_batch
         pipeline = TaurusPipeline(block=block, feature_names=feature_names, **kwargs)
         return cls(
             config=config,
@@ -73,6 +107,13 @@ class TaurusSwitch:
     def process(self, packet: Packet) -> PipelineResult:
         """One packet through the full pipeline."""
         return self.pipeline.process(packet)
+
+    def process_trace_batch(
+        self, trace, chunk_size: int | None = None
+    ) -> TracePipelineResult:
+        """A whole trace through the vectorized pipeline path."""
+        kwargs = {} if chunk_size is None else {"chunk_size": chunk_size}
+        return self.pipeline.process_trace_batch(trace, **kwargs)
 
     def infer(self, features: np.ndarray) -> np.ndarray:
         """Raw fabric inference, bypassing the header pipeline."""

@@ -138,6 +138,44 @@ class TraceColumns:
             flow_ids=None if self.flow_ids is None else self.flow_ids[order],
         )
 
+    # ------------------------------------------------------------------
+    # Shard-aware views (the sharded runtime's partition key)
+    # ------------------------------------------------------------------
+    def shard_assignments(self, n_shards: int, slots: int) -> np.ndarray:
+        """Per-packet shard ids, consistent with the flow-register slots.
+
+        A packet's shard is its FNV-1a five-tuple hash modulo ``slots``
+        (the register index the accumulator uses) modulo ``n_shards`` —
+        so every packet touching a given register slot, hash-collision
+        neighbours included, lands on the same shard and per-flow state
+        stays shard-local.
+        """
+        if n_shards <= 0:
+            raise ValueError("n_shards must be positive")
+        if slots <= 0:
+            raise ValueError("slots must be positive")
+        from ..pisa.registers import fnv1a_columns  # local: avoids module cycle
+
+        slot = fnv1a_columns(self.five_tuple_columns()) % np.uint64(slots)
+        return (slot % np.uint64(n_shards)).astype(np.int64)
+
+    def partition(
+        self, assignments: np.ndarray, n_parts: int
+    ) -> list[tuple[np.ndarray, "TraceColumns"]]:
+        """Split into ``(global_indices, columns)`` per part id.
+
+        Each part keeps its packets in original (arrival) order, so a
+        stable per-part time sort reproduces the global stable sort's
+        relative order within the part.
+        """
+        assignments = np.asarray(assignments)
+        return [
+            (indices, self.take(indices))
+            for indices in (
+                np.flatnonzero(assignments == part) for part in range(n_parts)
+            )
+        ]
+
     @classmethod
     def from_packets(cls, packets) -> "TraceColumns":
         """Build columns from pipeline :class:`~repro.pisa.packet.Packet`
@@ -208,6 +246,7 @@ class PacketTrace:
     offered_gbps: float
     time_dilation: float = 1.0
     _columns: TraceColumns | None = field(default=None, repr=False, compare=False)
+    _shard_views: dict = field(default_factory=dict, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.packets)
@@ -253,6 +292,22 @@ class PacketTrace:
                 flow_ids=np.fromiter((p.flow_id for p in packets), np.int64, n),
             )
         return self._columns
+
+    def shard_columns(
+        self, n_shards: int, slots: int
+    ) -> list[tuple[np.ndarray, TraceColumns]]:
+        """Cached flow-consistent partition of :meth:`columns`.
+
+        Returns ``(global_indices, columns)`` per shard (see
+        :meth:`TraceColumns.shard_assignments`); repeated sharded runs at
+        the same geometry re-partition for free.
+        """
+        key = (int(n_shards), int(slots))
+        if key not in self._shard_views:
+            columns = self.columns()
+            assignments = columns.shard_assignments(n_shards, slots)
+            self._shard_views[key] = columns.partition(assignments, n_shards)
+        return self._shard_views[key]
 
     @property
     def anomalous_fraction(self) -> float:

@@ -443,6 +443,68 @@ class TaurusPipeline:
         last_queue = 1 if bypass[-1] else 0  # arbiter order: [ml, bypass]
         self.arbiter._turn = (last_queue + 1) % len(self.arbiter.queues)
 
+    # ------------------------------------------------------------------
+    # State transport (sharded runtime)
+    # ------------------------------------------------------------------
+    #: Register arrays carried by :meth:`state_snapshot`.
+    _REGISTER_NAMES = ("packet_count", "byte_count", "urgent_count", "first_seen_ms")
+
+    def state_snapshot(self) -> dict:
+        """Every mutable observable as a picklable dict.
+
+        This is how a forked shard worker ships its post-run pipeline
+        state back to the parent process (queue *items* are excluded —
+        the batched path never retains them, and packets need not be
+        picklable).  ``restore_state`` is the inverse.
+        """
+        return {
+            "stats": dict(self.stats),
+            "registers": {
+                name: getattr(self.accumulator, name).values.copy()
+                for name in self._REGISTER_NAMES
+            },
+            "parser_packets": self.parser.packets_parsed,
+            "tables": [
+                (table.lookups, table.misses, [e.hits for e in table.entries])
+                for table in (*self.preprocess_tables, *self.postprocess_tables)
+            ],
+            "queues": [
+                (queue.drops, queue.high_watermark)
+                for queue in (self.ml_queue, self.bypass_queue)
+            ],
+            "arbiter_turn": self.arbiter._turn,
+            "block": (
+                None
+                if self.block is None
+                else (self.block._next_issue_cycle, self.block.packets_processed)
+            ),
+        }
+
+    def restore_state(self, snapshot: dict) -> None:
+        """Install a :meth:`state_snapshot` taken from this pipeline's twin."""
+        self.stats.update(snapshot["stats"])
+        for name, values in snapshot["registers"].items():
+            getattr(self.accumulator, name).values[:] = values
+        self.parser.packets_parsed = snapshot["parser_packets"]
+        tables = (*self.preprocess_tables, *self.postprocess_tables)
+        if len(tables) != len(snapshot["tables"]):
+            raise ValueError("snapshot does not match this pipeline's tables")
+        for table, (lookups, misses, hits) in zip(tables, snapshot["tables"]):
+            table.lookups = lookups
+            table.misses = misses
+            for entry, entry_hits in zip(table.entries, hits):
+                entry.hits = entry_hits
+        for queue, (drops, high_watermark) in zip(
+            (self.ml_queue, self.bypass_queue), snapshot["queues"]
+        ):
+            queue.drops = drops
+            queue.high_watermark = high_watermark
+        self.arbiter._turn = snapshot["arbiter_turn"]
+        if self.block is not None and snapshot["block"] is not None:
+            self.block._next_issue_cycle, self.block.packets_processed = snapshot[
+                "block"
+            ]
+
     @property
     def added_latency_ns(self) -> float:
         """Extra latency an ML packet pays vs the bypass path."""

@@ -1,0 +1,25 @@
+"""Sharded, overlapped streaming runtime for trace-scale execution.
+
+The scale-out layer above the batched pipeline: flow-consistent sharding
+across parallel pipeline workers (:class:`ShardedRuntime`), pluggable
+executors (:func:`run_tasks`), and double-buffered chunk staging
+(:func:`prefetch`).
+"""
+
+from .executors import (
+    EXECUTORS,
+    available_parallelism,
+    resolve_executor,
+    run_tasks,
+)
+from .overlap import prefetch
+from .sharded import ShardedRuntime
+
+__all__ = [
+    "EXECUTORS",
+    "available_parallelism",
+    "resolve_executor",
+    "run_tasks",
+    "prefetch",
+    "ShardedRuntime",
+]

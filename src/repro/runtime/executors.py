@@ -1,0 +1,135 @@
+"""Worker-pool strategies for the sharded runtime.
+
+Three interchangeable ways to evaluate a list of independent zero-argument
+tasks (one per shard):
+
+* ``serial``  — run in the calling thread (the 1-shard / 1-CPU fast path);
+* ``thread``  — a thread pool; NumPy releases the GIL on large kernels, so
+  vectorized shards overlap on multi-core hosts without any pickling;
+* ``fork``    — one forked child per task (POSIX only).  Children inherit
+  the parent's pipelines copy-on-write, so *inputs* are never pickled;
+  only each task's return value travels back through a pipe.  This is the
+  fully parallel path: no GIL, no shared mutable state.
+
+``auto`` resolves to the best available strategy for the host: ``serial``
+when there is nothing to parallelize (one task, or one usable CPU),
+otherwise ``fork`` where :func:`os.fork` exists and ``thread`` elsewhere.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, Sequence
+
+__all__ = ["EXECUTORS", "available_parallelism", "resolve_executor", "run_tasks"]
+
+#: Accepted values for the ``executor`` knob.
+EXECUTORS = ("auto", "serial", "thread", "fork")
+
+
+def available_parallelism() -> int:
+    """CPUs this process may actually use (affinity-aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # platforms without sched_getaffinity
+        return os.cpu_count() or 1
+
+
+def resolve_executor(mode: str, n_tasks: int) -> str:
+    """Map an executor request to the concrete strategy for this host."""
+    if mode not in EXECUTORS:
+        raise ValueError(f"unknown executor {mode!r}; pick one of {EXECUTORS}")
+    if n_tasks <= 1:
+        return "serial"
+    if mode == "fork" and not hasattr(os, "fork"):
+        return "thread"
+    if mode != "auto":
+        return mode
+    if available_parallelism() <= 1:
+        return "serial"
+    return "fork" if hasattr(os, "fork") else "thread"
+
+
+def run_tasks(tasks: Sequence[Callable[[], object]], mode: str = "auto") -> list:
+    """Evaluate every task, returning results in task order.
+
+    Task return values must be picklable under ``fork`` (they cross a
+    pipe); the other strategies place no constraint.  A failing task
+    raises in the caller under every strategy.
+    """
+    strategy = resolve_executor(mode, len(tasks))
+    if strategy == "serial":
+        return [task() for task in tasks]
+    if strategy == "thread":
+        with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+            futures = [pool.submit(task) for task in tasks]
+            return [future.result() for future in futures]
+    return _fork_map(tasks)
+
+
+def _fork_map(tasks: Sequence[Callable[[], object]]) -> list:
+    """One forked child per task; results return pickled through pipes.
+
+    The parent reads each pipe to EOF in task order.  Children whose pipe
+    buffers fill simply block in ``write`` until the parent gets to them,
+    so the computation still overlaps fully and no deadlock is possible.
+    """
+    children: list[tuple[int, int]] = []
+    for task in tasks:
+        read_fd, write_fd = os.pipe()
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pid = os.fork()
+        if pid == 0:  # child
+            os.close(read_fd)
+            status = 0
+            try:
+                payload = pickle.dumps(
+                    (True, task()), protocol=pickle.HIGHEST_PROTOCOL
+                )
+            except BaseException as exc:  # report, never unwind into pytest
+                payload = pickle.dumps(
+                    (False, f"{type(exc).__name__}: {exc}"),
+                    protocol=pickle.HIGHEST_PROTOCOL,
+                )
+                status = 1
+            try:
+                with os.fdopen(write_fd, "wb") as sink:
+                    sink.write(payload)
+            finally:
+                os._exit(status)  # skip atexit/pytest teardown in the child
+        os.close(write_fd)
+        children.append((pid, read_fd))
+
+    results: list = []
+    failures: list[str] = []
+    for pid, read_fd in children:
+        # Always drain and reap every child, even after an earlier one
+        # failed — otherwise survivors block forever on their pipes.
+        try:
+            with os.fdopen(read_fd, "rb") as source:
+                data = source.read()
+        except OSError as exc:
+            data = None
+            failures.append(f"worker pid {pid}: pipe read failed ({exc})")
+        os.waitpid(pid, 0)
+        if data is None:
+            continue
+        if not data:
+            failures.append(f"worker pid {pid} exited without a result")
+            continue
+        try:
+            ok, payload = pickle.loads(data)
+        except Exception as exc:  # truncated/corrupt payload (e.g. OOM kill)
+            failures.append(f"worker pid {pid}: unreadable result ({exc})")
+            continue
+        if ok:
+            results.append(payload)
+        else:
+            failures.append(payload)
+    if failures:
+        raise RuntimeError("sharded worker failed: " + "; ".join(failures))
+    return results

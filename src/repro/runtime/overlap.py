@@ -1,0 +1,77 @@
+"""Double-buffered chunk streaming: prepare chunk ``k+1`` while ``k`` runs.
+
+The batched data plane alternates two kinds of work per chunk — *staging*
+(slicing/columnarizing the next block of packets, and eventually trace
+generation or replay I/O) and *scoring* (the vectorized pipeline pass).
+:func:`prefetch` moves the staging side onto a producer thread with a
+small bounded buffer, so the consumer always finds the next chunk ready.
+Ordering is preserved and semantics are unchanged — this is purely a
+latency-hiding seam (ROADMAP's "async replay" direction hangs off it).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Iterable, Iterator, TypeVar
+
+__all__ = ["prefetch"]
+
+T = TypeVar("T")
+
+
+class _Failure:
+    """Carrier that moves a producer-side exception to the consumer."""
+
+    __slots__ = ("exc",)
+
+    def __init__(self, exc: BaseException):
+        self.exc = exc
+
+
+def prefetch(items: Iterable[T], depth: int = 2) -> Iterator[T]:
+    """Yield ``items`` in order, produced ``depth`` ahead on a worker thread.
+
+    ``depth`` bounds the number of staged-but-unconsumed chunks (classic
+    double buffering at the default of 2).  Exceptions raised by the
+    producer re-raise at the consumer's next pull; abandoning the iterator
+    early (``break`` / generator close) stops the producer promptly.
+    """
+    if depth <= 0:
+        raise ValueError("depth must be positive")
+    buffer: queue.Queue = queue.Queue(maxsize=depth)
+    done = object()
+    stop = threading.Event()
+
+    def offer(item) -> bool:
+        """Blocking put that gives up once the consumer walks away."""
+        while not stop.is_set():
+            try:
+                buffer.put(item, timeout=0.1)
+                return True
+            except queue.Full:
+                continue
+        return False
+
+    def produce() -> None:
+        try:
+            for item in items:
+                if not offer(item):
+                    return
+            offer(done)
+        except BaseException as exc:  # surfaced to the consumer
+            offer(_Failure(exc))
+
+    worker = threading.Thread(target=produce, name="chunk-prefetch", daemon=True)
+    worker.start()
+    try:
+        while True:
+            item = buffer.get()
+            if item is done:
+                break
+            if isinstance(item, _Failure):
+                raise item.exc
+            yield item
+    finally:
+        stop.set()
+        worker.join()

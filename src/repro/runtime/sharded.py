@@ -1,0 +1,342 @@
+"""Flow-consistent sharded execution of the batched PISA pipeline.
+
+The Taurus switch runs many compute units side by side; this runtime
+brings the same dimension of parallelism to trace replay by partitioning
+a packet trace across ``N`` independent :class:`~repro.pisa.TaurusPipeline`
+workers (each with its own parser, MATs, flow registers, and MapReduce
+block) and deterministically merging their outputs.
+
+**Why results stay bit-identical to one pipeline.**  Packets are sharded
+by *register slot*: the flow key's FNV-1a hash modulo the accumulator's
+slot count — exactly the index the flow registers use — then modulo the
+shard count.  Every packet that would touch a given register slot
+(including hash-collision neighbours) therefore lands on the same shard,
+in arrival order, so each shard's register file evolves exactly as the
+corresponding slots of a single shared register file would.  All other
+per-packet state (parse, MAT actions, fabric scoring) is independent
+across packets, and counters (stats, MAT hit/miss, parser totals) are
+pure sums.  The merge scatters per-shard outputs back to global
+arrival-time order and is asserted bit/stat-identical to the single-shard
+oracle by ``tests/test_shard_runtime.py``.
+
+Execution strategies (``executor=``) come from
+:mod:`repro.runtime.executors`: ``serial``, ``thread``, ``fork`` (true
+multi-core; per-shard pipeline state is snapshotted in the child and
+restored into the parent's pipeline objects), or ``auto``.
+
+Besides wall-clock throughput, the runtime models the *hardware* drain
+rate of ``N`` parallel MapReduce blocks: each shard's block drains its
+packets at the design's initiation-interval-limited rate concurrently,
+so a trace completes in the slowest shard's drain time
+(:attr:`ShardedRuntime.last_drain_ns`) — the scale-out twin of
+:attr:`~repro.hw.grid.BatchInferenceResult.duration_ns`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..datasets.packets import PacketTrace, TraceColumns
+from ..hw.params import CLOCK_GHZ
+from ..pisa.pipeline import (
+    DEFAULT_TRACE_CHUNK,
+    TaurusPipeline,
+    TracePipelineResult,
+)
+from .executors import resolve_executor, run_tasks
+
+__all__ = ["ShardedRuntime"]
+
+
+def _empty_result() -> TracePipelineResult:
+    return TracePipelineResult(
+        order=np.zeros(0, dtype=np.int64),
+        times=np.zeros(0, dtype=np.float64),
+        decisions=np.zeros(0, dtype=np.int64),
+        ml_scores=np.zeros(0, dtype=np.float64),
+        latencies_ns=np.zeros(0, dtype=np.float64),
+        bypassed=np.zeros(0, dtype=bool),
+        aggregates={},
+    )
+
+
+class ShardedRuntime:
+    """``N`` parallel pipeline workers behind one ``process_trace`` call.
+
+    Parameters
+    ----------
+    pipeline_factory:
+        ``factory(shard_index) -> TaurusPipeline``; called once per shard
+        at construction.  Each call must build an *independent* pipeline
+        (own tables, accumulator, and MapReduce block) with identical
+        configuration, and every accumulator must share one slot count
+        (the partition key).
+    shards:
+        Number of workers.  ``1`` degenerates to the plain batched
+        pipeline with zero partition/merge overhead.
+    executor:
+        ``auto`` | ``serial`` | ``thread`` | ``fork`` (see
+        :mod:`repro.runtime.executors`).
+    chunk_size:
+        Default packets-per-chunk for each shard's vectorized loop.
+    """
+
+    def __init__(
+        self,
+        pipeline_factory: Callable[[int], TaurusPipeline],
+        shards: int = 2,
+        executor: str = "auto",
+        chunk_size: int = DEFAULT_TRACE_CHUNK,
+    ):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
+        if chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+        self.shards = shards
+        self.executor = executor
+        self.chunk_size = chunk_size
+        self.pipelines = [pipeline_factory(i) for i in range(shards)]
+        slot_counts = {
+            pipe.accumulator.packet_count.size for pipe in self.pipelines
+        }
+        if len(slot_counts) != 1:
+            raise ValueError(
+                "shard pipelines must share one register slot count, got "
+                f"{sorted(slot_counts)}"
+            )
+        self.slots = slot_counts.pop()
+        #: Modeled parallel-fabric drain time of the last run (max over
+        #: shards of latency + (B_s - 1) * II on that shard's block).
+        self.last_drain_ns = 0.0
+        self._last_turn = 0
+
+    # ------------------------------------------------------------------
+    # Trace execution
+    # ------------------------------------------------------------------
+    def process_trace(
+        self, trace, chunk_size: int | None = None
+    ) -> TracePipelineResult:
+        """The whole trace through all shards; merged, arrival-ordered.
+
+        ``trace`` is a :class:`~repro.datasets.packets.PacketTrace`
+        (partitions are cached on the trace), a
+        :class:`~repro.datasets.packets.TraceColumns`, or a list of
+        pipeline packets (converted; unlike the single-pipeline path, flow
+        aggregates are *not* written back into packet ``metadata`` — fork
+        workers mutate copies).
+        """
+        chunk = self.chunk_size if chunk_size is None else chunk_size
+        if chunk <= 0:
+            raise ValueError("chunk_size must be positive")
+        columns = self._as_columns(trace)
+        if columns.n == 0:
+            self.last_drain_ns = 0.0
+            return _empty_result()
+        if self.shards == 1:
+            # Zero-overhead degenerate case: no partition, no merge.
+            pipe = self.pipelines[0]
+            before = self._busy_cycles()
+            result = pipe.process_trace_batch(columns, chunk_size=chunk)
+            self.last_drain_ns = self._drain_ns(before)
+            self._last_turn = pipe.arbiter._turn
+            return result
+
+        parts = self._partition(trace, columns)
+        before = self._busy_cycles()
+        # Only fork workers need to ship pipeline state back — serial and
+        # thread strategies mutate this process's pipelines in place.
+        transport = resolve_executor(self.executor, len(parts)) == "fork"
+
+        def make_task(shard: int, sub: TraceColumns):
+            pipe = self.pipelines[shard]
+
+            def task():
+                result = pipe.process_trace_batch(sub, chunk_size=chunk)
+                return result, pipe.state_snapshot() if transport else None
+
+            return task
+
+        tasks = [make_task(shard, sub) for shard, (__, sub) in enumerate(parts)]
+        outcomes = run_tasks(tasks, self.executor)
+        if transport:
+            for pipe, (__, snapshot) in zip(self.pipelines, outcomes):
+                pipe.restore_state(snapshot)
+        self.last_drain_ns = self._drain_ns(before)
+        return self._merge(columns, parts, [result for result, __ in outcomes])
+
+    # ------------------------------------------------------------------
+    # Partitioning
+    # ------------------------------------------------------------------
+    def _as_columns(self, trace) -> TraceColumns:
+        if isinstance(trace, TraceColumns):
+            return trace
+        if hasattr(trace, "columns"):
+            return trace.columns()
+        return TraceColumns.from_packets(list(trace))
+
+    def _partition(self, trace, columns: TraceColumns):
+        """Slot-consistent parts as ``[(global_indices, sub_columns)]``."""
+        if isinstance(trace, PacketTrace):
+            return trace.shard_columns(self.shards, self.slots)
+        assignments = columns.shard_assignments(self.shards, self.slots)
+        return columns.partition(assignments, self.shards)
+
+    # ------------------------------------------------------------------
+    # Merging
+    # ------------------------------------------------------------------
+    def _merge(
+        self,
+        columns: TraceColumns,
+        parts,
+        results: list[TracePipelineResult],
+    ) -> TracePipelineResult:
+        """Scatter shard outputs to global positions, gather in time order.
+
+        Each shard result row ``r`` describes the packet at global input
+        position ``indices[result.order[r]]``; the merged result lists
+        packets in global arrival order — exactly what one pipeline
+        produces (stable sort makes equal timestamps deterministic, and
+        same-slot packets keep their relative order because they share a
+        shard).
+        """
+        n = columns.n
+        order = np.argsort(columns.times, kind="stable")
+        decisions = np.zeros(n, dtype=np.int64)
+        scores = np.full(n, np.nan)
+        latencies = np.zeros(n, dtype=np.float64)
+        bypassed = np.zeros(n, dtype=bool)
+        aggregates: dict[str, np.ndarray] = {}
+        for (indices, __), result in zip(parts, results):
+            if len(result) == 0:
+                continue
+            pos = indices[result.order]
+            decisions[pos] = result.decisions
+            scores[pos] = result.ml_scores
+            latencies[pos] = result.latencies_ns
+            bypassed[pos] = result.bypassed
+            for key, values in result.aggregates.items():
+                aggregates.setdefault(key, np.zeros(n, dtype=values.dtype))[
+                    pos
+                ] = values
+        # The globally-last packet fixes the merged arbiter turn.
+        last_shard = self._shard_of(parts, order[-1])
+        self._last_turn = self.pipelines[last_shard].arbiter._turn
+        return TracePipelineResult(
+            order=order,
+            times=columns.times[order],
+            decisions=decisions[order],
+            ml_scores=scores[order],
+            latencies_ns=latencies[order],
+            bypassed=bypassed[order],
+            aggregates={key: values[order] for key, values in aggregates.items()},
+        )
+
+    @staticmethod
+    def _shard_of(parts, global_index: int) -> int:
+        for shard, (indices, __) in enumerate(parts):
+            if len(indices) and np.any(indices == global_index):
+                return shard
+        return 0
+
+    # ------------------------------------------------------------------
+    # Modeled hardware drain
+    # ------------------------------------------------------------------
+    def _busy_cycles(self) -> list[int]:
+        return [
+            0 if pipe.block is None else pipe.block._next_issue_cycle
+            for pipe in self.pipelines
+        ]
+
+    def _drain_ns(self, before: list[int]) -> float:
+        """Slowest shard's modeled block drain for the cycles just issued.
+
+        Mirrors :attr:`BatchInferenceResult.duration_ns`: a shard that
+        issued ``B`` packets drains in ``latency + (B - 1) * II`` cycles;
+        shards run concurrently, so the trace drains with the slowest.
+        """
+        drains = [0.0]
+        for pipe, start in zip(self.pipelines, before):
+            if pipe.block is None:
+                continue
+            busy = pipe.block._next_issue_cycle - start
+            if busy <= 0:
+                continue
+            design = pipe.block.design
+            cycles = design.latency_cycles + busy - design.initiation_interval
+            drains.append(cycles / CLOCK_GHZ)
+        return max(drains)
+
+    # ------------------------------------------------------------------
+    # Merged observable state (for verification and reporting)
+    # ------------------------------------------------------------------
+    def merged_state(self) -> dict:
+        """Aggregate per-shard state as one pipeline would report it.
+
+        Counters sum, register files sum (shards own disjoint slot sets),
+        queue watermarks take the max, and the arbiter turn follows the
+        shard that processed the globally-last packet.
+        """
+        pipelines = self.pipelines
+        stats: dict[str, int] = {}
+        for pipe in pipelines:
+            for key, value in pipe.stats.items():
+                stats[key] = stats.get(key, 0) + value
+        registers = {
+            name: sum(
+                getattr(pipe.accumulator, name).values for pipe in pipelines
+            )
+            for name in TaurusPipeline._REGISTER_NAMES
+        }
+        tables = []
+        n_tables = len(pipelines[0].preprocess_tables) + len(
+            pipelines[0].postprocess_tables
+        )
+        for t in range(n_tables):
+            shard_tables = [
+                (pipe.preprocess_tables + pipe.postprocess_tables)[t]
+                for pipe in pipelines
+            ]
+            tables.append(
+                {
+                    "name": shard_tables[0].name,
+                    "lookups": sum(tab.lookups for tab in shard_tables),
+                    "misses": sum(tab.misses for tab in shard_tables),
+                    "hits": [
+                        sum(hits)
+                        for hits in zip(
+                            *([e.hits for e in tab.entries] for tab in shard_tables)
+                        )
+                    ],
+                }
+            )
+        return {
+            "stats": stats,
+            "registers": registers,
+            "tables": tables,
+            "parser_packets": sum(p.parser.packets_parsed for p in pipelines),
+            "block_packets": sum(
+                0 if p.block is None else p.block.packets_processed
+                for p in pipelines
+            ),
+            "block_issue_cycles": sum(
+                0 if p.block is None else p.block._next_issue_cycle
+                for p in pipelines
+            ),
+            "queues": {
+                "ml": {
+                    "drops": sum(p.ml_queue.drops for p in pipelines),
+                    "high_watermark": max(
+                        p.ml_queue.high_watermark for p in pipelines
+                    ),
+                },
+                "bypass": {
+                    "drops": sum(p.bypass_queue.drops for p in pipelines),
+                    "high_watermark": max(
+                        p.bypass_queue.high_watermark for p in pipelines
+                    ),
+                },
+            },
+            "arbiter_turn": self._last_turn,
+        }

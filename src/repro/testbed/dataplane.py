@@ -19,6 +19,13 @@ Two trace-scale entry points:
   parser, flow registers, MAT stages, bypass split, batched MapReduce
   scoring, decisions) via
   :meth:`~repro.pisa.TaurusPipeline.process_trace_batch`.
+
+Both scale out: ``TaurusDataPlane(..., shards=N)`` partitions the trace
+across ``N`` parallel pipeline/block workers (flow-consistent for the
+switch path, so results stay bit-identical — see
+:class:`~repro.runtime.ShardedRuntime`), and ``overlap=True``
+double-buffers the scoring chunk loop so chunk ``k+1`` is staged while
+chunk ``k`` scores.
 """
 
 from __future__ import annotations
@@ -33,6 +40,7 @@ from ..fixpoint import QuantizedModel
 from ..hw.grid import MapReduceBlock
 from ..mapreduce import dnn_graph
 from ..pisa import DECISION_FLAG, TaurusPipeline, threshold_postprocess
+from ..runtime import ShardedRuntime, prefetch, run_tasks
 
 __all__ = ["DataPlaneResult", "TaurusDataPlane", "DEFAULT_CHUNK_SIZE"]
 
@@ -77,31 +85,117 @@ def _detection_result(
 
 
 class TaurusDataPlane:
-    """The switch + MapReduce block as the testbed sees them."""
+    """The switch + MapReduce block as the testbed sees them.
 
-    def __init__(self, quantized: QuantizedModel, threshold: float = 0.5):
+    Parameters
+    ----------
+    quantized:
+        The deployed (fix8) model; both graph lowerings derive from it.
+    threshold:
+        Decision threshold for the anomaly postprocess hook.
+    shards:
+        Parallel workers for trace-scale runs.  ``run_switch`` partitions
+        by flow (register-slot-consistent, bit-identical results);
+        ``run``/``verify_equivalence`` split the stateless scoring pass
+        into contiguous row blocks.  ``1`` keeps the PR-2 single-pipeline
+        path untouched.
+    overlap:
+        Double-buffer the scoring chunk loop (stage chunk ``k+1`` on a
+        producer thread while chunk ``k`` scores).  Semantically a no-op.
+    executor:
+        Worker strategy for ``shards > 1``:
+        ``auto`` | ``serial`` | ``thread`` | ``fork``.
+    """
+
+    def __init__(
+        self,
+        quantized: QuantizedModel,
+        threshold: float = 0.5,
+        shards: int = 1,
+        overlap: bool = True,
+        executor: str = "auto",
+    ):
+        if shards <= 0:
+            raise ValueError("shards must be positive")
         self.quantized = quantized
         self.threshold = threshold
+        self.shards = shards
+        self.overlap = overlap
+        self.executor = executor
         self.block = MapReduceBlock(dnn_graph(quantized, name="anomaly_dnn"))
         # Exact-activation lowering: bit-identical to the quantized model,
         # used for trace-scale scoring and the equivalence check.
         self.exact_block = MapReduceBlock(
             dnn_graph(quantized, name="anomaly_dnn_exact", exact_activations=True)
         )
+        self._shard_blocks: list[MapReduceBlock] | None = None
+        #: Modeled parallel-fabric drain time of the last ``run_switch``
+        #: (slowest shard's II-limited block drain; the hardware-scaling
+        #: twin of wall-clock throughput).
+        self.last_modeled_drain_ns = 0.0
+
+    def _exact_shard_blocks(self) -> list[MapReduceBlock]:
+        """One exact-activation block per shard (compiled once, cached).
+
+        Shard 0 reuses :attr:`exact_block`, so single-shard behaviour —
+        including the block's issue clock — is unchanged from PR 2.
+        """
+        if self._shard_blocks is None:
+            self._shard_blocks = [self.exact_block] + [
+                MapReduceBlock(
+                    dnn_graph(
+                        self.quantized,
+                        name=f"anomaly_dnn_exact_shard{i}",
+                        exact_activations=True,
+                    )
+                )
+                for i in range(1, self.shards)
+            ]
+        return self._shard_blocks
 
     def _stream_scores(
         self, feats: np.ndarray, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> np.ndarray:
-        """Score features in chunks through the batched graph path."""
+        """Score features through the batched graph path, sharded/overlapped.
+
+        Scoring is stateless per row, so ``shards > 1`` splits the matrix
+        into contiguous row blocks — one per shard block — and evaluates
+        them on the executor; results concatenate back in order,
+        bit-identical to the serial pass.
+        """
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if self.shards > 1 and len(feats) > chunk_size:
+            blocks = self._exact_shard_blocks()
+            bounds = np.linspace(0, len(feats), num=len(blocks) + 1, dtype=np.int64)
+            tasks = [
+                (
+                    lambda graph=block.graph, lo=int(lo), hi=int(hi): (
+                        self._score_chunks(graph, feats[lo:hi], chunk_size)
+                    )
+                )
+                for block, lo, hi in zip(blocks, bounds[:-1], bounds[1:])
+            ]
+            return np.concatenate(run_tasks(tasks, self.executor))
+        return self._score_chunks(self.exact_block.graph, feats, chunk_size)
+
+    def _score_chunks(
+        self, graph, feats: np.ndarray, chunk_size: int
+    ) -> np.ndarray:
+        """One worker's chunk loop (optionally double-buffered)."""
         # Values only: go straight to the graph interpreter rather than
         # MapReduceBlock.run_batch, whose timing accounting would advance
         # the block's issue clock for what is a read-only scoring pass.
-        graph = self.exact_block.graph
         scores = np.empty(len(feats), dtype=np.float64)
-        for start in range(0, len(feats), chunk_size):
-            chunk = feats[start : start + chunk_size]
+        chunks = (
+            (start, feats[start : start + chunk_size])
+            for start in range(0, len(feats), chunk_size)
+        )
+        if self.overlap and len(feats) > chunk_size:
+            # The producer side is the seam for staging work (slicing now;
+            # trace generation / replay I/O in the async-replay follow-on).
+            chunks = prefetch(chunks, depth=2)
+        for start, chunk in chunks:
             scores[start : start + len(chunk)] = graph.execute_batch(chunk)[:, 0]
         return scores
 
@@ -118,20 +212,35 @@ class TaurusDataPlane:
     # Full switch model
     # ------------------------------------------------------------------
     def build_pipeline(
-        self, feature_names: tuple[str, ...] = DNN_FEATURES
+        self,
+        feature_names: tuple[str, ...] = DNN_FEATURES,
+        block: MapReduceBlock | None = None,
     ) -> TaurusPipeline:
         """A complete PISA pipeline around the exact-activation block.
 
         Postprocess thresholds the fabric score at this data plane's
         ``threshold`` (scalar hook + vectorized twin, so both execution
-        paths stay fast and identical).
+        paths stay fast and identical).  ``block`` overrides the default
+        :attr:`exact_block` (the sharded runtime hands each worker its
+        own block).
         """
         scalar_post, batch_post = threshold_postprocess(self.threshold)
         return TaurusPipeline(
-            block=self.exact_block,
+            block=self.exact_block if block is None else block,
             feature_names=feature_names,
             postprocess=scalar_post,
             postprocess_batch=batch_post,
+        )
+
+    def build_runtime(
+        self, feature_names: tuple[str, ...] = DNN_FEATURES
+    ) -> ShardedRuntime:
+        """A sharded runtime over fresh pipelines (one per shard block)."""
+        blocks = self._exact_shard_blocks()
+        return ShardedRuntime(
+            lambda shard: self.build_pipeline(feature_names, block=blocks[shard]),
+            shards=self.shards,
+            executor=self.executor,
         )
 
     def run_switch(
@@ -142,11 +251,16 @@ class TaurusDataPlane:
         Unlike :meth:`run` (which shortcuts features into the graph
         interpreter), every packet transits parse -> flow registers ->
         preprocessing -> MapReduce -> postprocessing, and detection is
-        scored from the pipeline's *decisions*.  A fresh pipeline is built
-        per call so repeated runs see identical register state.
+        scored from the pipeline's *decisions*.  Fresh pipelines are built
+        per call so repeated runs see identical register state.  With
+        ``shards > 1`` the trace is partitioned flow-consistently across
+        the shard workers and merged bit-identically (the modeled
+        parallel drain of the run lands in
+        :attr:`last_modeled_drain_ns`).
         """
-        pipeline = self.build_pipeline()
-        outcome = pipeline.process_trace_batch(trace, chunk_size=chunk_size)
+        runtime = self.build_runtime()
+        outcome = runtime.process_trace(trace, chunk_size=chunk_size)
+        self.last_modeled_drain_ns = runtime.last_drain_ns
         labels = trace.columns().labels[outcome.order]
         preds = (outcome.decisions == DECISION_FLAG).astype(np.int64)
         return _detection_result(preds, labels, self.block.latency_ns)

@@ -101,6 +101,68 @@ class TestTaurusSwitch:
         assert TaurusConfig().n_cus == 90
         assert TaurusConfig().n_mus == 30
 
+    def test_batched_decision_hooks_installed_by_default(
+        self, quantized_dnn, train_test_split
+    ):
+        """with_program wires the vectorized postprocess twin, so batched
+        trace replay never falls back to the per-row scalar hook."""
+        from repro.datasets import expand_to_packets
+
+        switch = TaurusSwitch.with_program(
+            dnn_graph(quantized_dnn), feature_names=DNN_FEATURES
+        )
+        assert switch.pipeline.postprocess_batch is not None
+        __, test = train_test_split
+        trace = expand_to_packets(test, max_packets=200, seed=3)
+        outcome = switch.process_trace_batch(trace)
+        threshold = switch.config.decision_threshold
+        assert np.array_equal(outcome.decisions == 1, outcome.ml_scores >= threshold)
+
+    def test_custom_batched_hooks_pass_through(self, quantized_dnn):
+        from repro.pisa import DECISION_DROP, DECISION_FORWARD
+
+        def scalar_post(value):
+            return DECISION_DROP if float(value[0]) >= 0.9 else DECISION_FORWARD
+
+        def batch_post(values):
+            return np.where(values[:, 0] >= 0.9, DECISION_DROP, DECISION_FORWARD)
+
+        def scalar_bypass(phv):
+            return phv.get("dst_port") == 22
+
+        def batch_bypass(batch):
+            return batch.column("dst_port") == 22
+
+        switch = TaurusSwitch.with_program(
+            dnn_graph(quantized_dnn),
+            feature_names=DNN_FEATURES,
+            postprocess=scalar_post,
+            postprocess_batch=batch_post,
+            bypass_predicate=scalar_bypass,
+            bypass_predicate_batch=batch_bypass,
+        )
+        assert switch.pipeline.postprocess is scalar_post
+        assert switch.pipeline.postprocess_batch is batch_post
+        assert switch.pipeline.bypass_predicate is scalar_bypass
+        assert switch.pipeline.bypass_predicate_batch is batch_bypass
+
+    def test_batch_only_hooks_rejected(self, quantized_dnn):
+        """A batched hook without its scalar oracle would let the two
+        execution paths silently diverge — refuse it."""
+        graph = dnn_graph(quantized_dnn)
+        with pytest.raises(ValueError, match="scalar postprocess"):
+            TaurusSwitch.with_program(
+                graph,
+                feature_names=DNN_FEATURES,
+                postprocess_batch=lambda values: values[:, 0] > 0,
+            )
+        with pytest.raises(ValueError, match="scalar bypass_predicate"):
+            TaurusSwitch.with_program(
+                graph,
+                feature_names=DNN_FEATURES,
+                bypass_predicate_batch=lambda batch: batch.column("dst_port") == 22,
+            )
+
 
 class TestAnomalyDetectorApp:
     @pytest.fixture(scope="class")

@@ -1,0 +1,120 @@
+"""Regression tests: the exact-match index survives install()/lookup interleave.
+
+PR 2 made exact tables consult a lazily (re)built hash index.  The index
+must be invalidated by every control-plane mutation — including installs
+that happen *after* lookups already forced a build — and both the scalar
+and the batched lookup paths must see freshly installed entries
+immediately.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.pisa import (
+    Action,
+    MatchActionTable,
+    MatchKind,
+    PHV,
+    PHVBatch,
+    PHVLayout,
+    TableEntry,
+)
+
+LAYOUT = PHVLayout(fields=(("dst_port", 16), ("protocol", 8), ("mark", 8)))
+
+
+def _phv(dst_port: int, protocol: int = 0) -> PHV:
+    phv = PHV(LAYOUT)
+    phv.set("dst_port", dst_port)
+    phv.set("protocol", protocol)
+    return phv
+
+
+def _batch(dst_ports, protocols=None) -> PHVBatch:
+    batch = PHVBatch(LAYOUT, len(dst_ports))
+    batch.set_column("dst_port", np.asarray(dst_ports, dtype=np.int64))
+    batch.set_column(
+        "protocol",
+        np.zeros(len(dst_ports), dtype=np.int64)
+        if protocols is None
+        else np.asarray(protocols, dtype=np.int64),
+    )
+    return batch
+
+
+def _table() -> MatchActionTable:
+    table = MatchActionTable(
+        name="acl", key_fields=("dst_port", "protocol"), kind=MatchKind.EXACT
+    )
+    table.install(TableEntry({"dst_port": 80, "protocol": 0}, Action.noop()))
+    return table
+
+
+class TestExactIndexInvalidation:
+    def test_install_after_scalar_lookup_is_visible(self):
+        table = _table()
+        assert table.lookup(_phv(80)) is table.entries[0].action  # builds index
+        assert table.lookup(_phv(443)) is table.default_action
+        misses_before = table.misses
+
+        late = TableEntry({"dst_port": 443, "protocol": 0}, Action.noop())
+        table.install(late)
+        assert table.lookup(_phv(443)) is late.action
+        assert late.hits == 1
+        assert table.misses == misses_before
+
+    def test_install_after_batch_lookup_is_visible(self):
+        table = _table()
+        first = table.lookup_batch(_batch([80, 443]))  # builds index
+        assert list(first) == [0, -1]
+
+        late = TableEntry({"dst_port": 443, "protocol": 0}, Action.noop())
+        table.install(late)
+        winners = table.lookup_batch(_batch([80, 443, 7]))
+        positions = {
+            int(w): None if w < 0 else table.entries[int(w)]
+            for w in winners
+        }
+        assert table.entries[int(winners[0])].match["dst_port"] == 80
+        assert table.entries[int(winners[1])] is late
+        assert int(winners[2]) == -1
+        assert late.hits == 1
+        del positions
+
+    def test_scalar_and_batch_agree_after_interleaved_installs(self):
+        """Interleave installs and lookups; both paths stay in lockstep."""
+        table = _table()
+        ports = [80, 443, 8080, 22, 7]
+        for round_no, port in enumerate([443, 8080, 22]):
+            table.lookup_batch(_batch(ports))  # force an index build
+            table.install(
+                TableEntry({"dst_port": port, "protocol": 0}, Action.noop())
+            )
+            scalar = [
+                -1 if table._find(_phv(p)) is None
+                else table.entries.index(table._find(_phv(p)))
+                for p in ports
+            ]
+            batch = [int(w) for w in table.lookup_batch(_batch(ports))]
+            assert scalar == batch, f"diverged after install round {round_no}"
+
+    def test_late_wildcard_outranks_indexed_entry_in_both_paths(self):
+        """A higher-priority partial-key entry installed after lookups must
+        beat the full-key index hit (position order is the tiebreak)."""
+        table = _table()
+        table.lookup(_phv(80))  # index built with only the full-key entry
+        wildcard = TableEntry({"protocol": 0}, Action.noop(), priority=9)
+        table.install(wildcard)
+
+        assert table._find(_phv(80)) is wildcard
+        winners = table.lookup_batch(_batch([80, 443]))
+        assert table.entries[int(winners[0])] is wildcard
+        assert table.entries[int(winners[1])] is wildcard
+
+    def test_remove_all_after_lookup_invalidates(self):
+        table = _table()
+        assert int(table.lookup_batch(_batch([80]))[0]) == 0
+        assert table.remove_all() == 1
+        assert table.lookup(_phv(80)) is table.default_action
+        assert list(table.lookup_batch(_batch([80]))) == [-1]

@@ -1,0 +1,387 @@
+"""Property tests: the sharded runtime == the single-pipeline oracle, exactly.
+
+:class:`~repro.runtime.ShardedRuntime` partitions a trace flow-consistently
+across N independent pipelines and merges their outputs; these tests drive
+identical workloads through :meth:`TaurusPipeline.process_trace_batch` (the
+PR-2 oracle) and the runtime at shards ∈ {1, 2, 4} and assert every
+observable matches bit/stat-for-bit — merged decisions, scores, latencies,
+bypass flags, aggregates, stats, MAT counters, register contents, parser
+and block counters, queue watermarks, and the arbiter turn — across
+TCP/UDP mixes, register-collision traces, and all executor strategies.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import DNN_FEATURES, expand_to_packets, generate_connections
+from repro.datasets.packets import TraceColumns
+from repro.hw import MapReduceBlock
+from repro.mapreduce import dnn_graph
+from repro.pisa import (
+    Action,
+    DECISION_DROP,
+    DECISION_FORWARD,
+    FlowFeatureAccumulator,
+    MatchActionTable,
+    MatchKind,
+    Packet,
+    TableEntry,
+    TaurusPipeline,
+    threshold_postprocess,
+)
+from repro.runtime import ShardedRuntime, prefetch, run_tasks
+
+MAX_SHARDS = 4
+HAS_FORK = hasattr(os, "fork")
+
+
+@pytest.fixture(scope="module")
+def blocks(quantized_dnn):
+    """Oracle block + one per shard, all identically configured."""
+    return [
+        MapReduceBlock(dnn_graph(quantized_dnn)) for _ in range(MAX_SHARDS + 1)
+    ]
+
+
+def _reset(block: MapReduceBlock) -> None:
+    block._next_issue_cycle = 0
+    block.packets_processed = 0
+
+
+def _install_tables(pipe: TaurusPipeline) -> None:
+    """Pre/postprocess MATs covering all four match kinds."""
+    pre_exact = MatchActionTable(
+        name="pre_exact", key_fields=("protocol", "dst_port"), kind=MatchKind.EXACT
+    )
+    pre_exact.install(
+        TableEntry(
+            {"protocol": 0, "dst_port": 80},
+            Action.set_const("tag", "seq", 1),
+            priority=1,
+        )
+    )
+    pre_exact.install(
+        TableEntry({"protocol": 1}, Action.set_const("udp", "seq", 2), priority=5)
+    )
+    pre_range = MatchActionTable(
+        name="pre_range", key_fields=("src_port",), kind=MatchKind.RANGE
+    )
+    pre_range.install(
+        TableEntry(
+            {"src_port": (2000, 40000)},
+            Action.set_const("boost", DNN_FEATURES[0], 1.25),
+        )
+    )
+    post_ternary = MatchActionTable(
+        name="post_ternary", key_fields=("src_ip",), kind=MatchKind.TERNARY
+    )
+    post_ternary.install(
+        TableEntry(
+            {"src_ip": (0x0A000000, 0xFF000000)},
+            Action.set_const("drop10", "decision", DECISION_DROP),
+            priority=3,
+        )
+    )
+    post_lpm = MatchActionTable(
+        name="post_lpm", key_fields=("dst_ip",), kind=MatchKind.LPM
+    )
+    post_lpm.install(
+        TableEntry(
+            {"dst_ip": (0xC0A80000, 16)},
+            Action.set_const("lan_ok", "decision", DECISION_FORWARD),
+        )
+    )
+    pipe.install_preprocess(pre_exact)
+    pipe.install_preprocess(pre_range)
+    pipe.install_postprocess(post_ternary)
+    pipe.install_postprocess(post_lpm)
+
+
+def _pipeline(block, slots: int, tables: bool) -> TaurusPipeline:
+    scalar_post, batch_post = threshold_postprocess(0.5)
+    pipe = TaurusPipeline(
+        block=block,
+        feature_names=DNN_FEATURES,
+        postprocess=scalar_post,
+        postprocess_batch=batch_post,
+    )
+    # Small register files force flow collisions; slot-consistent sharding
+    # must keep colliding flows together.
+    pipe.accumulator = FlowFeatureAccumulator(slots=slots)
+    if tables:
+        _install_tables(pipe)
+    return pipe
+
+
+def _oracle(blocks, slots: int, tables: bool) -> TaurusPipeline:
+    _reset(blocks[0])
+    return _pipeline(blocks[0], slots, tables)
+
+
+def _runtime(
+    blocks, shards: int, slots: int, tables: bool, executor: str = "serial"
+) -> ShardedRuntime:
+    for block in blocks[1 : shards + 1]:
+        _reset(block)
+    return ShardedRuntime(
+        lambda i: _pipeline(blocks[i + 1], slots, tables),
+        shards=shards,
+        executor=executor,
+    )
+
+
+def _packet(rng: np.random.Generator, t: float) -> Packet:
+    protocol = int(rng.choice([0, 0, 1, 7]))
+    features = None if rng.random() < 0.1 else rng.uniform(-3.0, 3.0, size=6)
+    return Packet(
+        headers={
+            "protocol": protocol,
+            "src_ip": int(rng.choice([0x0A000001, 0x0A0000FF, 0x0B000001, 3])),
+            "dst_ip": int(rng.choice([0xC0A80A0A, 0xC0A90A0A, 17])),
+            "src_port": int(rng.choice([1024, 2222, 40000, 55555])),
+            "dst_port": int(rng.choice([22, 53, 80, 3306, 9999])),
+            "urgent_flag": int(rng.random() < 0.3),
+            "seq": int(rng.integers(0, 100)),
+        },
+        payload_len=int(rng.integers(0, 1400)),
+        arrival_time=t,
+        features=features,
+    )
+
+
+def _random_columns(seed: int, n: int) -> TraceColumns:
+    rng = np.random.default_rng(seed)
+    # Duplicate timestamps on purpose: merge order must stay stable.
+    times = np.round(rng.uniform(0.0, 0.01, size=n), 4)
+    return TraceColumns.from_packets([_packet(rng, float(t)) for t in times])
+
+
+def _assert_equivalent(oracle: TaurusPipeline, runtime: ShardedRuntime, columns,
+                       chunk_size: int = 16):
+    expected = oracle.process_trace_batch(columns, chunk_size=chunk_size)
+    merged = runtime.process_trace(columns, chunk_size=chunk_size)
+
+    assert np.array_equal(expected.order, merged.order), "order diverged"
+    assert np.array_equal(expected.times, merged.times), "times diverged"
+    assert np.array_equal(expected.decisions, merged.decisions), "decisions"
+    assert np.array_equal(
+        expected.ml_scores, merged.ml_scores, equal_nan=True
+    ), "ml_scores diverged"
+    assert np.array_equal(
+        expected.latencies_ns, merged.latencies_ns
+    ), "latencies diverged"
+    assert np.array_equal(expected.bypassed, merged.bypassed), "bypass flags"
+    assert expected.aggregates.keys() == merged.aggregates.keys()
+    for key in expected.aggregates:
+        assert np.array_equal(
+            expected.aggregates[key], merged.aggregates[key]
+        ), f"aggregate {key} diverged"
+
+    state = runtime.merged_state()
+    assert state["stats"] == oracle.stats
+    for name, values in state["registers"].items():
+        assert np.array_equal(
+            values, getattr(oracle.accumulator, name).values
+        ), f"register {name} diverged"
+    oracle_tables = oracle.preprocess_tables + oracle.postprocess_tables
+    assert len(state["tables"]) == len(oracle_tables)
+    for table_state, table in zip(state["tables"], oracle_tables):
+        assert table_state["lookups"] == table.lookups, table.name
+        assert table_state["misses"] == table.misses, table.name
+        assert table_state["hits"] == [e.hits for e in table.entries], table.name
+    assert state["parser_packets"] == oracle.parser.packets_parsed
+    assert state["block_packets"] == oracle.block.packets_processed
+    assert state["block_issue_cycles"] == oracle.block._next_issue_cycle
+    for name, queue in (("ml", oracle.ml_queue), ("bypass", oracle.bypass_queue)):
+        assert state["queues"][name]["drops"] == queue.drops
+        assert state["queues"][name]["high_watermark"] == queue.high_watermark
+    assert state["arbiter_turn"] == oracle.arbiter._turn
+    return expected, merged
+
+
+class TestShardMergeDeterminism:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_all_match_kinds_with_collisions(self, blocks, shards):
+        """TCP/UDP mix, all four MAT kinds, colliding flow registers."""
+        columns = _random_columns(seed=1, n=160)
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _runtime(blocks, shards, slots=16, tables=True)
+        expected, __ = _assert_equivalent(oracle, runtime, columns)
+        assert len({int(d) for d in expected.decisions}) >= 2
+
+    @pytest.mark.parametrize(
+        "executor",
+        ["serial", "thread"]
+        + (["fork"] if HAS_FORK else []),
+    )
+    def test_executors_agree(self, blocks, executor):
+        """Every executor strategy produces the oracle's exact state.
+
+        The fork strategy additionally proves worker-state write-back:
+        registers, counters, and the block clock mutate in a child
+        process and must land back in the parent's pipelines.
+        """
+        columns = _random_columns(seed=2, n=120)
+        oracle = _oracle(blocks, slots=8, tables=True)
+        runtime = _runtime(blocks, 2, slots=8, tables=True, executor=executor)
+        _assert_equivalent(oracle, runtime, columns)
+
+    def test_sequential_runs_accumulate_state(self, blocks):
+        """Back-to-back traces keep register state, like one pipeline."""
+        oracle = _oracle(blocks, slots=16, tables=False)
+        runtime = _runtime(blocks, 2, slots=16, tables=False)
+        for seed in (3, 4):
+            _assert_equivalent(oracle, runtime, _random_columns(seed, 60))
+
+    def test_packet_trace_partitions_cached(self, blocks, train_test_split):
+        """PacketTrace input reuses the trace's cached shard partition."""
+        __, test = train_test_split
+        trace = expand_to_packets(test, max_packets=400, seed=9)
+        oracle = _oracle(blocks, slots=64, tables=True)
+        runtime = _runtime(blocks, 2, slots=64, tables=True)
+        slots = runtime.slots
+        _assert_equivalent(oracle, runtime, trace, chunk_size=64)
+        assert (2, slots) in trace._shard_views
+        parts = trace.shard_columns(2, slots)
+        assert sum(len(indices) for indices, __ in parts) == len(trace)
+        assert trace.shard_columns(2, slots) is parts  # cached, not rebuilt
+
+    def test_more_shards_than_flows(self, blocks):
+        """Shards beyond the flow count leave some workers empty."""
+        rng = np.random.default_rng(6)
+        packets = [_packet(rng, float(t)) for t in np.linspace(0, 0.01, 30)]
+        for p in packets:  # collapse to one five-tuple -> one busy shard
+            p.headers.update(src_ip=9, dst_ip=9, src_port=9, dst_port=9, protocol=0)
+        columns = TraceColumns.from_packets(packets)
+        oracle = _oracle(blocks, slots=16, tables=False)
+        runtime = _runtime(blocks, 4, slots=16, tables=False)
+        _assert_equivalent(oracle, runtime, columns)
+        busy = [p.stats["ml"] + p.stats["bypass"] for p in runtime.pipelines]
+        assert sorted(busy)[:3] == [0, 0, 0]
+
+    def test_empty_trace(self, blocks):
+        runtime = _runtime(blocks, 2, slots=16, tables=False)
+        out = runtime.process_trace(TraceColumns.from_packets([]))
+        assert len(out) == 0
+        assert runtime.last_drain_ns == 0.0
+
+    def test_modeled_drain_shrinks_with_shards(self, blocks):
+        columns = _random_columns(seed=7, n=200)
+        drains = {}
+        for shards in (1, 4):
+            runtime = _runtime(blocks, shards, slots=1024, tables=False)
+            runtime.process_trace(columns)
+            drains[shards] = runtime.last_drain_ns
+        assert 0 < drains[4] < drains[1]
+
+    def test_validation(self, blocks):
+        with pytest.raises(ValueError):
+            _runtime(blocks, 0, slots=16, tables=False)
+        with pytest.raises(ValueError):
+            ShardedRuntime(
+                lambda i: _pipeline(blocks[i + 1], slots=16 + i, tables=False),
+                shards=2,
+            )
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(2, 36),
+        st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=8, deadline=None)
+    def test_property_random_workloads(self, blocks, seed, n, shards):
+        """Randomized workloads: the merge never diverges from the oracle."""
+        columns = _random_columns(seed=seed, n=n)
+        oracle = _oracle(blocks, slots=8, tables=True)
+        runtime = _runtime(blocks, shards, slots=8, tables=True)
+        _assert_equivalent(oracle, runtime, columns, chunk_size=5)
+
+
+class TestShardedDataPlane:
+    def test_run_switch_matches_single_shard(self, quantized_dnn, train_test_split):
+        """TaurusDataPlane(shards=N) is the same machine, end to end."""
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        __, test = train_test_split
+        trace = expand_to_packets(test, max_packets=500, seed=21)
+        base = TaurusDataPlane(quantized_dnn)
+        sharded = TaurusDataPlane(quantized_dnn, shards=3, executor="thread")
+        assert base.run_switch(trace) == sharded.run_switch(trace)
+        assert 0 < sharded.last_modeled_drain_ns < base.last_modeled_drain_ns
+        # The scoring shortcut agrees too, sharded + double-buffered
+        # (small chunks force the multi-worker split).
+        assert base.run(trace, chunk_size=64) == sharded.run(trace, chunk_size=64)
+        assert sharded.verify_equivalence(trace, chunk_size=64)
+
+    def test_overlap_is_a_no_op_semantically(self, quantized_dnn, train_test_split):
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        __, test = train_test_split
+        trace = expand_to_packets(test, max_packets=300, seed=22)
+        plain = TaurusDataPlane(quantized_dnn, overlap=False)
+        buffered = TaurusDataPlane(quantized_dnn, overlap=True)
+        assert plain.run(trace, chunk_size=32) == buffered.run(trace, chunk_size=32)
+
+    def test_shards_validated(self, quantized_dnn):
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        with pytest.raises(ValueError):
+            TaurusDataPlane(quantized_dnn, shards=0)
+
+
+class TestRuntimePrimitives:
+    def test_prefetch_preserves_order(self):
+        items = [(i, np.full(4, i)) for i in range(17)]
+        out = list(prefetch(iter(items), depth=2))
+        assert [i for i, __ in out] == list(range(17))
+
+    def test_prefetch_propagates_errors(self):
+        def gen():
+            yield 1
+            raise RuntimeError("producer blew up")
+
+        it = prefetch(gen(), depth=2)
+        assert next(it) == 1
+        with pytest.raises(RuntimeError, match="producer blew up"):
+            next(it)
+
+    def test_prefetch_early_exit(self):
+        for item in prefetch(iter(range(1000)), depth=2):
+            if item == 3:
+                break  # must not deadlock on the producer thread
+
+    def test_prefetch_close_after_producer_exhausts(self):
+        """Closing with the buffer full (producer blocked on its final
+        ``done`` put) must not deadlock the join."""
+        it = prefetch(iter([1, 2, 3]), depth=2)
+        assert next(it) == 1
+        it.close()
+
+    def test_prefetch_validates_depth(self):
+        with pytest.raises(ValueError):
+            next(prefetch(iter([1]), depth=0))
+
+    @pytest.mark.parametrize(
+        "mode", ["serial", "thread"] + (["fork"] if HAS_FORK else [])
+    )
+    def test_run_tasks_modes_agree(self, mode):
+        tasks = [lambda i=i: np.arange(i, i + 3) for i in range(5)]
+        out = run_tasks(tasks, mode)
+        assert [int(a[0]) for a in out] == list(range(5))
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork executor needs POSIX")
+    def test_fork_worker_failure_raises(self):
+        def boom():
+            raise ValueError("shard exploded")
+
+        with pytest.raises(RuntimeError, match="shard exploded"):
+            run_tasks([boom, lambda: 1], "fork")
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            run_tasks([lambda: 1, lambda: 2], "hyperdrive")
