@@ -3,6 +3,7 @@
 from .congestion import (
     ACTIONS,
     CongestionTraceConfig,
+    congestion_packet_trace,
     generate_congestion_traces,
     oracle_action,
 )
@@ -33,6 +34,7 @@ from .packets import (
 __all__ = [
     "ACTIONS",
     "CongestionTraceConfig",
+    "congestion_packet_trace",
     "generate_congestion_traces",
     "oracle_action",
     "IOT_BINARY_FEATURES",

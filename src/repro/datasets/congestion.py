@@ -14,7 +14,13 @@ from dataclasses import dataclass
 
 import numpy as np
 
-__all__ = ["CongestionTraceConfig", "generate_congestion_traces", "ACTIONS", "oracle_action"]
+__all__ = [
+    "CongestionTraceConfig",
+    "generate_congestion_traces",
+    "congestion_packet_trace",
+    "ACTIONS",
+    "oracle_action",
+]
 
 #: Discrete cwnd actions (multiplicative factors), mirroring Indigo's
 #: action set {-1/2x, -1 pkt, hold, +1 pkt, +1/2x} collapsed to factors.
@@ -104,3 +110,90 @@ def generate_congestion_traces(
         utilization = float(sequences[i, -1, 1])
         actions[i] = oracle_action(queue_frac, float(sequences[i, -1, 4]), utilization)
     return sequences, actions
+
+
+def congestion_packet_trace(
+    n_packets: int,
+    config: CongestionTraceConfig | None = None,
+    seed: int = 0,
+    n_flows: int = 64,
+    offered_gbps: float = 1.0,
+):
+    """Observation windows as a packet trace for the multi-app fabric.
+
+    Each packet's feature payload is one flattened ``(window_steps, 5)``
+    observation window (time-major, the layout
+    :func:`~repro.mapreduce.frontend.lstm_graph` consumes) and its label
+    is the oracle's action index — so replaying the trace through a
+    congestion app scores per-packet cwnd decisions the way the anomaly
+    trace scores detections.  Packets spread over ``n_flows`` synthetic
+    five-tuples with jittered arrivals, giving the flow-consistent
+    sharder real work.
+    """
+    from .packets import FlowSpec, PacketRecord, PacketTrace
+
+    if n_packets <= 0:
+        raise ValueError("n_packets must be positive")
+    if n_flows <= 0:
+        raise ValueError("n_flows must be positive")
+    cfg = config or CongestionTraceConfig()
+    sequences, actions = generate_congestion_traces(n_packets, cfg, seed=seed)
+    features = sequences.reshape(n_packets, -1)
+
+    rng = np.random.default_rng(seed + 0x5EED)
+    five_tuples = [
+        (
+            int(rng.integers(0, 2**32)),
+            int(rng.integers(0, 2**32)),
+            int(rng.integers(1024, 65535)),
+            int(rng.choice([80, 443, 4242, 9000])),
+            int(rng.choice([0, 1])),
+        )
+        for __ in range(n_flows)
+    ]
+    flow_of = rng.integers(0, n_flows, size=n_packets)
+    sizes = rng.integers(200, 1500, size=n_packets)
+    # Arrivals: each packet's exponential gap is scaled by its own wire
+    # size, so the stream's realized bytes/second matches ``offered_gbps``
+    # in expectation (the recorded rate stays honest).
+    gaps = rng.exponential(1.0, size=n_packets) * (
+        sizes * 8.0 / (offered_gbps * 1e9)
+    )
+    times = np.cumsum(gaps)
+
+    seq_in_flow = np.zeros(n_flows, dtype=np.int64)
+    packets = []
+    for i in range(n_packets):
+        fid = int(flow_of[i])
+        packets.append(
+            PacketRecord(
+                time=float(times[i]),
+                flow_id=fid,
+                five_tuple=five_tuples[fid],
+                size_bytes=int(sizes[i]),
+                features=features[i],
+                label=int(actions[i]),
+                attack_type=0,
+                seq_in_flow=int(seq_in_flow[fid]),
+            )
+        )
+        seq_in_flow[fid] += 1
+    flows = [
+        FlowSpec(
+            flow_id=fid,
+            five_tuple=five_tuples[fid],
+            n_packets=int(seq_in_flow[fid]),
+            mean_size=850.0,
+            features=np.zeros(features.shape[1]),
+            label=0,
+            attack_type=0,
+            start_time=0.0,
+        )
+        for fid in range(n_flows)
+    ]
+    return PacketTrace(
+        packets=packets,
+        flows=flows,
+        duration=float(times[-1]),
+        offered_gbps=offered_gbps,
+    )

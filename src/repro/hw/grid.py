@@ -25,7 +25,28 @@ from ..compiler.pipeline import CompiledDesign, compile_graph
 from ..mapreduce.ir import DataflowGraph
 from .params import CLOCK_GHZ, CUGeometry, DEFAULT_CU_GEOMETRY
 
-__all__ = ["MapReduceBlock", "InferenceResult", "BatchInferenceResult"]
+__all__ = [
+    "MapReduceBlock",
+    "InferenceResult",
+    "BatchInferenceResult",
+    "RECONFIG_WORDS_PER_CYCLE",
+    "RECONFIG_BASE_CYCLES",
+]
+
+#: Configuration words the control path streams into the grid per cycle
+#: when swapping programs (the CGRA analogue of partial-bitstream load
+#: bandwidth).
+RECONFIG_WORDS_PER_CYCLE = 16
+
+#: Fixed handshake cost of a program swap: quiesce the PHV FIFO, drain
+#: in-flight packets, and flip the double-buffered configuration plane.
+RECONFIG_BASE_CYCLES = 64
+
+#: Compiled designs cached per block.  Sized for a realistic multi-app
+#: working set; beyond it the oldest non-resident entry is evicted, so a
+#: control loop that re-lowers a fresh graph per weight update cannot
+#: grow the cache (and the graphs it pins) without bound.
+DESIGN_CACHE_LIMIT = 16
 
 
 @dataclass(frozen=True)
@@ -88,11 +109,24 @@ class MapReduceBlock:
     ):
         self.graph = graph
         self.geometry = geometry
+        self.cu_budget = cu_budget
+        self.mu_budget = mu_budget
         self.design: CompiledDesign = compile_graph(
             graph, geometry, cu_budget=cu_budget, mu_budget=mu_budget
         )
+        # Compiled designs per program, so time-multiplexed swaps between
+        # a working set of apps do not recompile on every switch.  Values
+        # keep a strong reference to their graph: cache keys are object
+        # identities, and a dead graph's id could be recycled.
+        self._design_cache: dict[int, tuple[DataflowGraph, CompiledDesign]] = {
+            id(graph): (graph, self.design)
+        }
         self._next_issue_cycle = 0
         self.packets_processed = 0
+        #: Program swaps performed by :meth:`reconfigure`.
+        self.reconfigurations = 0
+        #: Issue-clock cycles spent on accounted swaps (``account=True``).
+        self.reconfig_cycles = 0
 
     # ------------------------------------------------------------------
     # Per-packet execution
@@ -154,20 +188,55 @@ class MapReduceBlock:
         )
 
     # ------------------------------------------------------------------
-    # Reconfiguration (weight updates without a new bitstream)
+    # Reconfiguration (program swaps without a new bitstream)
     # ------------------------------------------------------------------
-    def reconfigure(self, graph: DataflowGraph) -> None:
+    def reconfig_cycles_for(self, graph: DataflowGraph) -> int:
+        """Issue-clock cost of swapping ``graph`` onto this grid.
+
+        A swap quiesces the block (:data:`RECONFIG_BASE_CYCLES`) and
+        streams the program's configuration words in at
+        :data:`RECONFIG_WORDS_PER_CYCLE` per cycle.
+        """
+        words = graph.config_words()
+        return RECONFIG_BASE_CYCLES + -(-words // RECONFIG_WORDS_PER_CYCLE)
+
+    def reconfigure(self, graph: DataflowGraph, account: bool = False) -> None:
         """Install a new program (or the same program with new weights).
 
         Weight updates from the control plane re-lower the model and swap
         the graph atomically between packets — the data plane never stalls
         (Section 5.2.3 measures the end-to-end update delay separately).
+
+        With ``account=True`` the swap is charged to the block's issue
+        clock (:meth:`reconfig_cycles_for`): this is how the multi-app
+        fabric's time-multiplexed program switches show up in modeled
+        drain.  Compiled designs are cached per program object and always
+        honour the budgets the block was built with, so a block folded
+        onto the 12x10 grid stays folded after a swap.
         """
-        design = compile_graph(
-            graph,
-            self.geometry,
-            cu_budget=90 if self.design.fold_factor else None,
-        )
+        cached = self._design_cache.get(id(graph))
+        if cached is None or cached[0] is not graph:
+            design = compile_graph(
+                graph,
+                self.geometry,
+                cu_budget=self.cu_budget,
+                mu_budget=self.mu_budget,
+            )
+            while len(self._design_cache) >= DESIGN_CACHE_LIMIT:
+                oldest = next(
+                    key
+                    for key, (g, __) in self._design_cache.items()
+                    if g is not self.graph
+                )
+                del self._design_cache[oldest]
+            self._design_cache[id(graph)] = (graph, design)
+        else:
+            design = cached[1]
+        if account:
+            cycles = self.reconfig_cycles_for(graph)
+            self._next_issue_cycle += cycles
+            self.reconfig_cycles += cycles
+        self.reconfigurations += 1
         self.graph = graph
         self.design = design
 

@@ -63,7 +63,12 @@ import numpy as np
 
 from .ops import REDUCE_OPS
 
-__all__ = ["Node", "DataflowGraph", "NODE_KINDS"]
+__all__ = ["Node", "DataflowGraph", "NODE_KINDS", "NODE_DESCRIPTOR_WORDS"]
+
+#: Configuration words per node descriptor (opcode, routing, lane masks)
+#: streamed into the grid when a program is loaded.  Weight banks add their
+#: resident values on top — see :meth:`DataflowGraph.config_words`.
+NODE_DESCRIPTOR_WORDS = 4
 
 NODE_KINDS = (
     "input",
@@ -207,6 +212,21 @@ class DataflowGraph:
 
     def outputs(self) -> list[Node]:
         return [n for n in self.nodes.values() if n.kind == "output"]
+
+    def config_words(self) -> int:
+        """Size of this program's configuration stream, in words.
+
+        Reconfiguring the grid (a CGRA loads a new program between
+        packets, not a new bitstream) streams one fixed-size descriptor
+        per node plus every MU-resident constant (weight banks, LUT
+        tables).  The multi-app fabric prices time-multiplexed program
+        swaps from this: a bigger model takes proportionally longer to
+        swap in (see :meth:`repro.hw.grid.MapReduceBlock.reconfigure`).
+        """
+        return sum(
+            NODE_DESCRIPTOR_WORDS + node.weight_values
+            for node in self.nodes.values()
+        )
 
     # ------------------------------------------------------------------
     # Functional execution (one packet / one feature vector)

@@ -31,6 +31,7 @@ import numpy as np
 
 from ..datasets.packets import TraceColumns
 from ..hw.grid import MapReduceBlock
+from ..mapreduce.ir import DataflowGraph
 from .mat import MatchActionTable
 from .packet import Packet
 from .parser import Parser, default_layout, default_parser
@@ -155,6 +156,14 @@ class TaurusPipeline:
         custom scalar hook has no batched twin, the batched path falls
         back to calling the scalar hook per packet — still correct, just
         slower.
+    program:
+        The dataflow program this pipeline's packets must score through.
+        ``None`` (the default) trusts whatever the block is configured
+        with.  When set — the multi-app fabric sets it — both execution
+        paths *steer* the shared block before any ML work: if another
+        app's program is resident, the block reconfigures (with
+        issue-clock accounting) first.  Per-packet results are unaffected
+        by steering; only the modeled drain pays for the swaps.
     """
 
     block: MapReduceBlock | None
@@ -163,6 +172,7 @@ class TaurusPipeline:
     postprocess: Callable[[np.ndarray], int] = field(default=_default_postprocess)
     bypass_predicate_batch: Callable[[PHVBatch], np.ndarray] | None = None
     postprocess_batch: Callable[[np.ndarray], np.ndarray] | None = None
+    program: DataflowGraph | None = None
     parser: Parser = field(init=False)
     preprocess_tables: list[MatchActionTable] = field(default_factory=list)
     postprocess_tables: list[MatchActionTable] = field(default_factory=list)
@@ -188,6 +198,25 @@ class TaurusPipeline:
 
     def install_postprocess(self, table: MatchActionTable) -> None:
         self.postprocess_tables.append(table)
+
+    def steer(self) -> bool:
+        """Ensure the (possibly shared) block runs this pipeline's program.
+
+        Returns True when a swap happened.  Called by both execution paths
+        immediately before ML work, so a block time-multiplexed between
+        apps always scores a packet with the right program and the issue
+        clock picks up the swap cost.  A no-op for pipelines without a
+        pinned :attr:`program` (the single-app shape) or whose program is
+        already resident.
+        """
+        if (
+            self.program is None
+            or self.block is None
+            or self.block.graph is self.program
+        ):
+            return False
+        self.block.reconfigure(self.program, account=True)
+        return True
 
     # ------------------------------------------------------------------
     # Per-packet processing
@@ -225,6 +254,7 @@ class TaurusPipeline:
         else:
             self.ml_queue.push(packet)
             self.stats["ml"] += 1
+            self.steer()
             result = self.block.process(phv.feature_vector())
             ml_score = float(np.atleast_1d(result.value)[0])
             phv.set("ml_score", int(abs(ml_score) * 256) & 0xFFFF)
@@ -363,6 +393,7 @@ class TaurusPipeline:
         self.stats["bypass"] += m - n_ml
         if n_ml:
             self.stats["ml"] += n_ml
+            self.steer()
             result = self.block.run_batch(batch.feature_matrix()[ml])
             values = result.values
             ml_scores = values[:, 0]
@@ -476,7 +507,19 @@ class TaurusPipeline:
             "block": (
                 None
                 if self.block is None
-                else (self.block._next_issue_cycle, self.block.packets_processed)
+                else {
+                    "next_issue_cycle": self.block._next_issue_cycle,
+                    "packets_processed": self.block.packets_processed,
+                    "reconfigurations": self.block.reconfigurations,
+                    "reconfig_cycles": self.block.reconfig_cycles,
+                    # Graphs hold closures and cannot cross the pipe, so
+                    # the resident program travels as "is it mine?" — the
+                    # owning pipeline re-installs it on restore.
+                    "program_resident": (
+                        self.program is not None
+                        and self.block.graph is self.program
+                    ),
+                }
             ),
         }
 
@@ -501,9 +544,21 @@ class TaurusPipeline:
             queue.high_watermark = high_watermark
         self.arbiter._turn = snapshot["arbiter_turn"]
         if self.block is not None and snapshot["block"] is not None:
-            self.block._next_issue_cycle, self.block.packets_processed = snapshot[
-                "block"
-            ]
+            block_state = snapshot["block"]
+            if (
+                block_state["program_resident"]
+                and self.program is not None
+                and self.block.graph is not self.program
+            ):
+                # Re-install the program the (forked) twin left resident,
+                # so later runs model reconfigurations identically across
+                # executors.  The counter restore below overwrites the
+                # swap this bookkeeping install records.
+                self.block.reconfigure(self.program)
+            self.block._next_issue_cycle = block_state["next_issue_cycle"]
+            self.block.packets_processed = block_state["packets_processed"]
+            self.block.reconfigurations = block_state["reconfigurations"]
+            self.block.reconfig_cycles = block_state["reconfig_cycles"]
 
     @property
     def added_latency_ns(self) -> float:

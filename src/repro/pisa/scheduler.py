@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -56,11 +57,18 @@ class PIFO:
 
 @dataclass
 class PacketQueue:
-    """A bounded FIFO sub-queue (per pipeline block, Fig. 6)."""
+    """A bounded FIFO sub-queue (per pipeline block, Fig. 6).
+
+    Backed by a :class:`collections.deque`: a full-trace drain pops from
+    the head once per packet, and ``list.pop(0)`` would make that O(N^2)
+    over a multi-hundred-thousand-packet trace.  ``drops`` and
+    ``high_watermark`` semantics are unchanged (and remain what
+    :meth:`~repro.pisa.TaurusPipeline.state_snapshot` carries).
+    """
 
     name: str
     capacity: int = 4096
-    items: list[Any] = field(default_factory=list)
+    items: deque = field(default_factory=deque)
     drops: int = 0
     high_watermark: int = 0
 
@@ -73,7 +81,7 @@ class PacketQueue:
         return True
 
     def pop(self) -> Any:
-        return self.items.pop(0)
+        return self.items.popleft()  # IndexError on empty, like list.pop(0)
 
     def __len__(self) -> int:
         return len(self.items)

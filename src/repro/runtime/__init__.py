@@ -1,9 +1,10 @@
-"""Sharded, overlapped streaming runtime for trace-scale execution.
+"""Sharded, overlapped, multi-app streaming runtime for trace-scale runs.
 
 The scale-out layer above the batched pipeline: flow-consistent sharding
 across parallel pipeline workers (:class:`ShardedRuntime`), pluggable
-executors (:func:`run_tasks`), and double-buffered chunk staging
-(:func:`prefetch`).
+executors (:func:`run_tasks`), double-buffered chunk staging
+(:func:`prefetch`), and time-multiplexing of several compiled apps over
+shared grid lanes (:class:`MultiAppFabric`).
 """
 
 from .executors import (
@@ -12,14 +13,36 @@ from .executors import (
     resolve_executor,
     run_tasks,
 )
+from .fabric import (
+    SCHEDULING_POLICIES,
+    FabricApp,
+    MultiAppFabric,
+    MultiAppResult,
+    schedule_chunks,
+)
 from .overlap import prefetch
-from .sharded import ShardedRuntime
+from .sharded import (
+    ShardedRuntime,
+    as_trace_columns,
+    empty_trace_result,
+    merge_pipeline_state,
+    scatter_merge,
+)
 
 __all__ = [
     "EXECUTORS",
     "available_parallelism",
     "resolve_executor",
     "run_tasks",
+    "SCHEDULING_POLICIES",
+    "FabricApp",
+    "MultiAppFabric",
+    "MultiAppResult",
+    "schedule_chunks",
     "prefetch",
     "ShardedRuntime",
+    "as_trace_columns",
+    "empty_trace_result",
+    "merge_pipeline_state",
+    "scatter_merge",
 ]

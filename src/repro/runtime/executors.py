@@ -115,21 +115,37 @@ def _fork_map(tasks: Sequence[Callable[[], object]]) -> list:
         except OSError as exc:
             data = None
             failures.append(f"worker pid {pid}: pipe read failed ({exc})")
-        os.waitpid(pid, 0)
+        __, wait_status = os.waitpid(pid, 0)
+        exit_code = os.waitstatus_to_exitcode(wait_status)
         if data is None:
             continue
         if not data:
-            failures.append(f"worker pid {pid} exited without a result")
+            failures.append(
+                f"worker pid {pid} exited without a result "
+                f"(exit status {exit_code})"
+            )
             continue
         try:
             ok, payload = pickle.loads(data)
         except Exception as exc:  # truncated/corrupt payload (e.g. OOM kill)
-            failures.append(f"worker pid {pid}: unreadable result ({exc})")
+            failures.append(
+                f"worker pid {pid}: unreadable result ({exc}; "
+                f"exit status {exit_code})"
+            )
             continue
-        if ok:
-            results.append(payload)
-        else:
+        if not ok:
             failures.append(payload)
+        elif exit_code != 0:
+            # A well-formed payload is not enough: a child that died
+            # nonzero (e.g. killed during its os._exit bookkeeping) may
+            # have shipped state from a half-torn-down pipeline, so its
+            # result cannot be trusted.
+            failures.append(
+                f"worker pid {pid} returned a result but exited with "
+                f"status {exit_code}"
+            )
+        else:
+            results.append(payload)
     if failures:
         raise RuntimeError("sharded worker failed: " + "; ".join(failures))
     return results

@@ -7,6 +7,14 @@ generation or replay I/O) and *scoring* (the vectorized pipeline pass).
 small bounded buffer, so the consumer always finds the next chunk ready.
 Ordering is preserved and semantics are unchanged — this is purely a
 latency-hiding seam (ROADMAP's "async replay" direction hangs off it).
+
+Shutdown is deterministic: :class:`prefetch` is a real iterator object
+(not a generator), so abandoning it — ``break``, a consumer-side
+exception, an explicit :meth:`prefetch.close`, or a ``with`` block —
+stops the producer promptly.  ``close()`` signals the stop event, drains
+the buffer so a producer parked in ``put`` unblocks immediately (instead
+of timing out its poll), closes a generator source, and joins the worker
+with a bounded timeout.
 """
 
 from __future__ import annotations
@@ -19,6 +27,9 @@ __all__ = ["prefetch"]
 
 T = TypeVar("T")
 
+#: Sentinel marking normal producer exhaustion.
+_DONE = object()
+
 
 class _Failure:
     """Carrier that moves a producer-side exception to the consumer."""
@@ -29,49 +40,129 @@ class _Failure:
         self.exc = exc
 
 
-def prefetch(items: Iterable[T], depth: int = 2) -> Iterator[T]:
+class prefetch(Iterator[T]):
     """Yield ``items`` in order, produced ``depth`` ahead on a worker thread.
 
     ``depth`` bounds the number of staged-but-unconsumed chunks (classic
     double buffering at the default of 2).  Exceptions raised by the
-    producer re-raise at the consumer's next pull; abandoning the iterator
-    early (``break`` / generator close) stops the producer promptly.
-    """
-    if depth <= 0:
-        raise ValueError("depth must be positive")
-    buffer: queue.Queue = queue.Queue(maxsize=depth)
-    done = object()
-    stop = threading.Event()
+    producer re-raise at the consumer's next pull.
 
-    def offer(item) -> bool:
-        """Blocking put that gives up once the consumer walks away."""
-        while not stop.is_set():
+    Usable as a plain iterator, or as a context manager when the consumer
+    may leave the loop early::
+
+        with prefetch(chunks) as staged:
+            for chunk in staged:
+                ...
+
+    ``close()`` is idempotent and safe to call at any point; after it the
+    iterator is exhausted.
+    """
+
+    def __init__(self, items: Iterable[T], depth: int = 2,
+                 join_timeout: float = 5.0):
+        if depth <= 0:
+            raise ValueError("depth must be positive")
+        self._items = items
+        self._buffer: queue.Queue = queue.Queue(maxsize=depth)
+        self._stop = threading.Event()
+        self._join_timeout = join_timeout
+        self._finished = False
+        self._worker = threading.Thread(
+            target=self._produce, name="chunk-prefetch", daemon=True
+        )
+        self._worker.start()
+
+    # ------------------------------------------------------------------
+    # Producer side
+    # ------------------------------------------------------------------
+    def _offer(self, item) -> bool:
+        """Blocking put that gives up as soon as the consumer walks away."""
+        while not self._stop.is_set():
             try:
-                buffer.put(item, timeout=0.1)
+                self._buffer.put(item, timeout=0.1)
                 return True
             except queue.Full:
                 continue
         return False
 
-    def produce() -> None:
+    def _produce(self) -> None:
         try:
-            for item in items:
-                if not offer(item):
+            iterator = iter(self._items)
+            while not self._stop.is_set():
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    self._offer(_DONE)
                     return
-            offer(done)
+                if not self._offer(item):
+                    return
         except BaseException as exc:  # surfaced to the consumer
-            offer(_Failure(exc))
+            self._offer(_Failure(exc))
+        finally:
+            # A generator source holds staging resources; release them on
+            # the producer thread rather than waiting for GC.
+            close = getattr(self._items, "close", None)
+            if close is not None:
+                try:
+                    close()
+                except Exception:
+                    pass
 
-    worker = threading.Thread(target=produce, name="chunk-prefetch", daemon=True)
-    worker.start()
-    try:
+    # ------------------------------------------------------------------
+    # Consumer side
+    # ------------------------------------------------------------------
+    def __iter__(self) -> "prefetch[T]":
+        return self
+
+    def __next__(self) -> T:
+        if self._finished:
+            raise StopIteration
+        item = self._buffer.get()
+        if item is _DONE:
+            self._shutdown()
+            raise StopIteration
+        if isinstance(item, _Failure):
+            self._shutdown()
+            raise item.exc
+        return item
+
+    def close(self) -> None:
+        """Stop the producer promptly and release the worker thread.
+
+        Safe to call at any time (including after exhaustion, repeatedly,
+        or mid-stream after a consumer-side exception).  The buffer is
+        drained so a producer blocked in ``put`` wakes immediately; the
+        join is bounded so a source stuck inside ``next()`` cannot hang
+        the caller (the daemon worker then dies with the process).
+        """
+        self._shutdown()
+
+    def _shutdown(self) -> None:
+        if self._finished:
+            return
+        self._finished = True
+        self._stop.set()
+        # Unblock a producer parked in put(): after the drain it either
+        # completes one pending put into free space or times out, sees the
+        # stop flag, and exits — no 0.1 s straggler, no leaked buffer.
         while True:
-            item = buffer.get()
-            if item is done:
+            try:
+                self._buffer.get_nowait()
+            except queue.Empty:
                 break
-            if isinstance(item, _Failure):
-                raise item.exc
-            yield item
-    finally:
-        stop.set()
-        worker.join()
+        self._worker.join(timeout=self._join_timeout)
+
+    # ------------------------------------------------------------------
+    # Context-manager / finalization hooks
+    # ------------------------------------------------------------------
+    def __enter__(self) -> "prefetch[T]":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass

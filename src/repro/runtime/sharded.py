@@ -47,10 +47,32 @@ from ..pisa.pipeline import (
 )
 from .executors import resolve_executor, run_tasks
 
-__all__ = ["ShardedRuntime"]
+__all__ = [
+    "ShardedRuntime",
+    "as_trace_columns",
+    "empty_trace_result",
+    "scatter_merge",
+    "merge_pipeline_state",
+]
 
 
-def _empty_result() -> TracePipelineResult:
+def as_trace_columns(trace) -> TraceColumns:
+    """Coerce any accepted trace form to :class:`TraceColumns`.
+
+    Shared by :class:`ShardedRuntime` and the multi-app fabric: a
+    ``TraceColumns`` passes through, anything with a cached ``columns()``
+    view (:class:`~repro.datasets.packets.PacketTrace`) uses it, and a
+    plain packet list is columnarized on the fly.
+    """
+    if isinstance(trace, TraceColumns):
+        return trace
+    if hasattr(trace, "columns"):
+        return trace.columns()
+    return TraceColumns.from_packets(list(trace))
+
+
+def empty_trace_result() -> TracePipelineResult:
+    """A zero-packet :class:`TracePipelineResult` (the no-op run)."""
     return TracePipelineResult(
         order=np.zeros(0, dtype=np.int64),
         times=np.zeros(0, dtype=np.float64),
@@ -60,6 +82,121 @@ def _empty_result() -> TracePipelineResult:
         bypassed=np.zeros(0, dtype=bool),
         aggregates={},
     )
+
+
+def scatter_merge(
+    columns: TraceColumns,
+    parts,
+    results: list[TracePipelineResult],
+) -> TracePipelineResult:
+    """Scatter per-part outputs to global positions, gather in time order.
+
+    Each part is ``(global_indices, sub_columns)`` over ``columns`` and
+    ``results[p]`` is that part's pipeline outcome: result row ``r``
+    describes the packet at global input position
+    ``indices[result.order[r]]``.  The merged result lists packets in
+    global arrival order — exactly what one pipeline over the whole trace
+    produces (stable sort makes equal timestamps deterministic, and
+    same-slot packets keep their relative order because they share a
+    part).  Shared by :class:`ShardedRuntime` (parts = shards of one
+    trace) and the multi-app fabric (parts = one app's lanes).
+    """
+    n = columns.n
+    order = np.argsort(columns.times, kind="stable")
+    decisions = np.zeros(n, dtype=np.int64)
+    scores = np.full(n, np.nan)
+    latencies = np.zeros(n, dtype=np.float64)
+    bypassed = np.zeros(n, dtype=bool)
+    aggregates: dict[str, np.ndarray] = {}
+    for (indices, __), result in zip(parts, results):
+        if len(result) == 0:
+            continue
+        pos = indices[result.order]
+        decisions[pos] = result.decisions
+        scores[pos] = result.ml_scores
+        latencies[pos] = result.latencies_ns
+        bypassed[pos] = result.bypassed
+        for key, values in result.aggregates.items():
+            aggregates.setdefault(key, np.zeros(n, dtype=values.dtype))[
+                pos
+            ] = values
+    return TracePipelineResult(
+        order=order,
+        times=columns.times[order],
+        decisions=decisions[order],
+        ml_scores=scores[order],
+        latencies_ns=latencies[order],
+        bypassed=bypassed[order],
+        aggregates={key: values[order] for key, values in aggregates.items()},
+    )
+
+
+def merge_pipeline_state(pipelines, arbiter_turn: int) -> dict:
+    """Aggregate per-worker pipeline state as one pipeline would report it.
+
+    Counters sum, register files sum (workers own disjoint slot sets),
+    queue watermarks take the max, and the arbiter turn is supplied by the
+    caller (the worker that processed the globally-last packet).
+    """
+    stats: dict[str, int] = {}
+    for pipe in pipelines:
+        for key, value in pipe.stats.items():
+            stats[key] = stats.get(key, 0) + value
+    registers = {
+        name: sum(getattr(pipe.accumulator, name).values for pipe in pipelines)
+        for name in TaurusPipeline._REGISTER_NAMES
+    }
+    tables = []
+    n_tables = len(pipelines[0].preprocess_tables) + len(
+        pipelines[0].postprocess_tables
+    )
+    for t in range(n_tables):
+        shard_tables = [
+            (pipe.preprocess_tables + pipe.postprocess_tables)[t]
+            for pipe in pipelines
+        ]
+        tables.append(
+            {
+                "name": shard_tables[0].name,
+                "lookups": sum(tab.lookups for tab in shard_tables),
+                "misses": sum(tab.misses for tab in shard_tables),
+                "hits": [
+                    sum(hits)
+                    for hits in zip(
+                        *([e.hits for e in tab.entries] for tab in shard_tables)
+                    )
+                ],
+            }
+        )
+    return {
+        "stats": stats,
+        "registers": registers,
+        "tables": tables,
+        "parser_packets": sum(p.parser.packets_parsed for p in pipelines),
+        "block_packets": sum(
+            0 if p.block is None else p.block.packets_processed
+            for p in pipelines
+        ),
+        "block_issue_cycles": sum(
+            0 if p.block is None else p.block._next_issue_cycle
+            for p in pipelines
+        ),
+        "queues": {
+            "ml": {
+                "drops": sum(p.ml_queue.drops for p in pipelines),
+                "high_watermark": max(
+                    p.ml_queue.high_watermark for p in pipelines
+                ),
+            },
+            "bypass": {
+                "drops": sum(p.bypass_queue.drops for p in pipelines),
+                "high_watermark": max(
+                    p.bypass_queue.high_watermark for p in pipelines
+                ),
+            },
+        },
+        "arbiter_turn": arbiter_turn,
+    }
 
 
 class ShardedRuntime:
@@ -130,10 +267,10 @@ class ShardedRuntime:
         chunk = self.chunk_size if chunk_size is None else chunk_size
         if chunk <= 0:
             raise ValueError("chunk_size must be positive")
-        columns = self._as_columns(trace)
+        columns = as_trace_columns(trace)
         if columns.n == 0:
             self.last_drain_ns = 0.0
-            return _empty_result()
+            return empty_trace_result()
         if self.shards == 1:
             # Zero-overhead degenerate case: no partition, no merge.
             pipe = self.pipelines[0]
@@ -169,13 +306,6 @@ class ShardedRuntime:
     # ------------------------------------------------------------------
     # Partitioning
     # ------------------------------------------------------------------
-    def _as_columns(self, trace) -> TraceColumns:
-        if isinstance(trace, TraceColumns):
-            return trace
-        if hasattr(trace, "columns"):
-            return trace.columns()
-        return TraceColumns.from_packets(list(trace))
-
     def _partition(self, trace, columns: TraceColumns):
         """Slot-consistent parts as ``[(global_indices, sub_columns)]``."""
         if isinstance(trace, PacketTrace):
@@ -192,46 +322,12 @@ class ShardedRuntime:
         parts,
         results: list[TracePipelineResult],
     ) -> TracePipelineResult:
-        """Scatter shard outputs to global positions, gather in time order.
-
-        Each shard result row ``r`` describes the packet at global input
-        position ``indices[result.order[r]]``; the merged result lists
-        packets in global arrival order — exactly what one pipeline
-        produces (stable sort makes equal timestamps deterministic, and
-        same-slot packets keep their relative order because they share a
-        shard).
-        """
-        n = columns.n
-        order = np.argsort(columns.times, kind="stable")
-        decisions = np.zeros(n, dtype=np.int64)
-        scores = np.full(n, np.nan)
-        latencies = np.zeros(n, dtype=np.float64)
-        bypassed = np.zeros(n, dtype=bool)
-        aggregates: dict[str, np.ndarray] = {}
-        for (indices, __), result in zip(parts, results):
-            if len(result) == 0:
-                continue
-            pos = indices[result.order]
-            decisions[pos] = result.decisions
-            scores[pos] = result.ml_scores
-            latencies[pos] = result.latencies_ns
-            bypassed[pos] = result.bypassed
-            for key, values in result.aggregates.items():
-                aggregates.setdefault(key, np.zeros(n, dtype=values.dtype))[
-                    pos
-                ] = values
+        """Merge shard outputs via :func:`scatter_merge`; fix the arbiter."""
+        merged = scatter_merge(columns, parts, results)
         # The globally-last packet fixes the merged arbiter turn.
-        last_shard = self._shard_of(parts, order[-1])
+        last_shard = self._shard_of(parts, merged.order[-1])
         self._last_turn = self.pipelines[last_shard].arbiter._turn
-        return TracePipelineResult(
-            order=order,
-            times=columns.times[order],
-            decisions=decisions[order],
-            ml_scores=scores[order],
-            latencies_ns=latencies[order],
-            bypassed=bypassed[order],
-            aggregates={key: values[order] for key, values in aggregates.items()},
-        )
+        return merged
 
     @staticmethod
     def _shard_of(parts, global_index: int) -> int:
@@ -276,67 +372,7 @@ class ShardedRuntime:
 
         Counters sum, register files sum (shards own disjoint slot sets),
         queue watermarks take the max, and the arbiter turn follows the
-        shard that processed the globally-last packet.
+        shard that processed the globally-last packet (see
+        :func:`merge_pipeline_state`).
         """
-        pipelines = self.pipelines
-        stats: dict[str, int] = {}
-        for pipe in pipelines:
-            for key, value in pipe.stats.items():
-                stats[key] = stats.get(key, 0) + value
-        registers = {
-            name: sum(
-                getattr(pipe.accumulator, name).values for pipe in pipelines
-            )
-            for name in TaurusPipeline._REGISTER_NAMES
-        }
-        tables = []
-        n_tables = len(pipelines[0].preprocess_tables) + len(
-            pipelines[0].postprocess_tables
-        )
-        for t in range(n_tables):
-            shard_tables = [
-                (pipe.preprocess_tables + pipe.postprocess_tables)[t]
-                for pipe in pipelines
-            ]
-            tables.append(
-                {
-                    "name": shard_tables[0].name,
-                    "lookups": sum(tab.lookups for tab in shard_tables),
-                    "misses": sum(tab.misses for tab in shard_tables),
-                    "hits": [
-                        sum(hits)
-                        for hits in zip(
-                            *([e.hits for e in tab.entries] for tab in shard_tables)
-                        )
-                    ],
-                }
-            )
-        return {
-            "stats": stats,
-            "registers": registers,
-            "tables": tables,
-            "parser_packets": sum(p.parser.packets_parsed for p in pipelines),
-            "block_packets": sum(
-                0 if p.block is None else p.block.packets_processed
-                for p in pipelines
-            ),
-            "block_issue_cycles": sum(
-                0 if p.block is None else p.block._next_issue_cycle
-                for p in pipelines
-            ),
-            "queues": {
-                "ml": {
-                    "drops": sum(p.ml_queue.drops for p in pipelines),
-                    "high_watermark": max(
-                        p.ml_queue.high_watermark for p in pipelines
-                    ),
-                },
-                "bypass": {
-                    "drops": sum(p.bypass_queue.drops for p in pipelines),
-                    "high_watermark": max(
-                        p.bypass_queue.high_watermark for p in pipelines
-                    ),
-                },
-            },
-            "arbiter_turn": self._last_turn,
-        }
+        return merge_pipeline_state(self.pipelines, self._last_turn)

@@ -8,6 +8,7 @@ from .experiment import (
     DEFAULT_SAMPLING_RATES,
     EndToEndExperiment,
     EndToEndRow,
+    MultiAppRow,
     format_table8,
 )
 from .traffic import Workload, build_workload
@@ -23,6 +24,7 @@ __all__ = [
     "DEFAULT_SAMPLING_RATES",
     "EndToEndExperiment",
     "EndToEndRow",
+    "MultiAppRow",
     "format_table8",
     "Workload",
     "build_workload",

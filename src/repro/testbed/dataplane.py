@@ -30,6 +30,7 @@ chunk ``k`` scores.
 
 from __future__ import annotations
 
+import contextlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -40,7 +41,14 @@ from ..fixpoint import QuantizedModel
 from ..hw.grid import MapReduceBlock
 from ..mapreduce import dnn_graph
 from ..pisa import DECISION_FLAG, TaurusPipeline, threshold_postprocess
-from ..runtime import ShardedRuntime, prefetch, run_tasks
+from ..runtime import (
+    FabricApp,
+    MultiAppFabric,
+    MultiAppResult,
+    ShardedRuntime,
+    prefetch,
+    run_tasks,
+)
 
 __all__ = ["DataPlaneResult", "TaurusDataPlane", "DEFAULT_CHUNK_SIZE"]
 
@@ -133,6 +141,9 @@ class TaurusDataPlane:
         #: (slowest shard's II-limited block drain; the hardware-scaling
         #: twin of wall-clock throughput).
         self.last_modeled_drain_ns = 0.0
+        #: The :class:`~repro.runtime.MultiAppFabric` behind the last
+        #: :meth:`run_multi` call (state inspection / repeated runs).
+        self.last_fabric: MultiAppFabric | None = None
 
     def _exact_shard_blocks(self) -> list[MapReduceBlock]:
         """One exact-activation block per shard (compiled once, cached).
@@ -194,9 +205,17 @@ class TaurusDataPlane:
         if self.overlap and len(feats) > chunk_size:
             # The producer side is the seam for staging work (slicing now;
             # trace generation / replay I/O in the async-replay follow-on).
-            chunks = prefetch(chunks, depth=2)
-        for start, chunk in chunks:
-            scores[start : start + len(chunk)] = graph.execute_batch(chunk)[:, 0]
+            # prefetch() is a context manager: if scoring raises, the
+            # producer thread is stopped deterministically rather than
+            # waiting for GC to collect an abandoned iterator.
+            staged = prefetch(chunks, depth=2)
+        else:
+            staged = contextlib.nullcontext(chunks)
+        with staged as stream:
+            for start, chunk in stream:
+                scores[start : start + len(chunk)] = graph.execute_batch(
+                    chunk
+                )[:, 0]
         return scores
 
     def run(
@@ -261,9 +280,59 @@ class TaurusDataPlane:
         runtime = self.build_runtime()
         outcome = runtime.process_trace(trace, chunk_size=chunk_size)
         self.last_modeled_drain_ns = runtime.last_drain_ns
+        return self.detection_from_outcome(trace, outcome)
+
+    def detection_from_outcome(self, trace, outcome) -> DataPlaneResult:
+        """Score a pipeline outcome's FLAG decisions against ground truth.
+
+        The shared decisions-to-detection conversion for every surface
+        that replays a labeled trace through the switch model
+        (:meth:`run_switch`, the multi-app scenario, ...).
+        """
         labels = trace.columns().labels[outcome.order]
         preds = (outcome.decisions == DECISION_FLAG).astype(np.int64)
         return _detection_result(preds, labels, self.block.latency_ns)
+
+    # ------------------------------------------------------------------
+    # Multi-app fabric
+    # ------------------------------------------------------------------
+    def anomaly_app(self, name: str = "anomaly", weight: float = 1.0) -> FabricApp:
+        """This data plane's anomaly detector as a registrable fabric app."""
+        return FabricApp.from_quantized_dnn(
+            self.quantized, name=name, threshold=self.threshold, weight=weight
+        )
+
+    def run_multi(
+        self,
+        apps,
+        traces,
+        policy: str = "round_robin",
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+    ) -> MultiAppResult:
+        """Several compiled apps time-multiplexed over this switch's grid.
+
+        ``apps`` is a sequence of :class:`~repro.runtime.FabricApp` and
+        ``traces`` maps app name to its trace (or is a sequence aligned
+        with ``apps``).  The fabric inherits this data plane's ``shards``
+        and ``executor``: with one shard, every app shares one grid and
+        pays a modeled reconfiguration per program switch; with
+        ``shards >= len(apps)``, each app gets affine lanes and the apps
+        drain concurrently.  Per-app merged results are bit/stat-identical
+        to running each app alone on its own trace slice; the modeled
+        drain (including reconfiguration + interleave costs) lands in
+        :attr:`last_modeled_drain_ns`.
+        """
+        fabric = MultiAppFabric(
+            apps,
+            shards=self.shards,
+            executor=self.executor,
+            chunk_size=chunk_size,
+            policy=policy,
+        )
+        outcome = fabric.run(traces)
+        self.last_modeled_drain_ns = outcome.drain_ns
+        self.last_fabric = fabric
+        return outcome
 
     def verify_equivalence(
         self,

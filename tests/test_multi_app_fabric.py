@@ -1,0 +1,518 @@
+"""Property tests: the multi-app fabric == each app alone, exactly.
+
+:class:`~repro.runtime.MultiAppFabric` time-multiplexes several compiled
+programs over shared grid lanes; these tests drive two heterogeneous apps
+(the anomaly DNN and the Indigo congestion LSTM) through the fabric at
+shards ∈ {1, 2, 4} under every scheduling policy and assert each app's
+merged results and pipeline state are bit/stat-identical to running that
+app alone on its own trace — i.e. interleaving never leaks
+register/recurrent state between apps.  Reconfiguration accounting, the
+chunk scheduler, the ``run_multi`` surface, and the experiment scenario
+are covered alongside.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets import (
+    CongestionTraceConfig,
+    congestion_packet_trace,
+    expand_to_packets,
+    generate_connections,
+)
+from repro.hw import MapReduceBlock
+from repro.ml import indigo_lstm
+from repro.runtime import (
+    FabricApp,
+    MultiAppFabric,
+    schedule_chunks,
+)
+
+HAS_FORK = hasattr(os, "fork")
+CFG = CongestionTraceConfig()
+
+
+@pytest.fixture(scope="module")
+def lstm():
+    """An Indigo-shaped LSTM (seeded init; training is irrelevant to
+    identity/throughput semantics)."""
+    return indigo_lstm(seed=4)
+
+
+@pytest.fixture(scope="module")
+def anomaly_trace(train_test_split):
+    __, test = train_test_split
+    return expand_to_packets(test, max_packets=600, seed=31)
+
+
+@pytest.fixture(scope="module")
+def congestion_trace():
+    return congestion_packet_trace(140, CFG, seed=32)
+
+
+def _apps(quantized_dnn, lstm, weights=(1.0, 1.0)):
+    return [
+        FabricApp.from_quantized_dnn(
+            quantized_dnn, name="anomaly", weight=weights[0]
+        ),
+        FabricApp.from_lstm(
+            lstm, window_steps=CFG.window_steps, name="congestion",
+            weight=weights[1],
+        ),
+    ]
+
+
+def _oracle(app, trace, chunk_size=64):
+    """The app alone on a dedicated block — the PR-2 single-pipeline path."""
+    pipe = app.build_pipeline(MapReduceBlock(app.graph))
+    result = pipe.process_trace_batch(trace, chunk_size=chunk_size)
+    return result, pipe
+
+
+def _assert_result_equal(result, oracle, label):
+    assert np.array_equal(result.order, oracle.order), f"{label}: order"
+    assert np.array_equal(result.times, oracle.times), f"{label}: times"
+    assert np.array_equal(result.decisions, oracle.decisions), (
+        f"{label}: decisions"
+    )
+    assert np.array_equal(
+        result.ml_scores, oracle.ml_scores, equal_nan=True
+    ), f"{label}: ml_scores"
+    assert np.array_equal(result.latencies_ns, oracle.latencies_ns), (
+        f"{label}: latencies"
+    )
+    assert np.array_equal(result.bypassed, oracle.bypassed), f"{label}: bypass"
+    assert result.aggregates.keys() == oracle.aggregates.keys()
+    for key in oracle.aggregates:
+        assert np.array_equal(
+            result.aggregates[key], oracle.aggregates[key]
+        ), f"{label}: aggregate {key}"
+
+
+def _assert_state_matches(fabric, name, oracle_pipe):
+    """The app's merged pipeline state == the standalone pipeline's."""
+    state = fabric.app_state(name)
+    assert state["stats"] == oracle_pipe.stats, name
+    for reg, values in state["registers"].items():
+        assert np.array_equal(
+            values, getattr(oracle_pipe.accumulator, reg).values
+        ), f"{name}: register {reg}"
+    assert state["parser_packets"] == oracle_pipe.parser.packets_parsed
+    for qname, queue in (
+        ("ml", oracle_pipe.ml_queue),
+        ("bypass", oracle_pipe.bypass_queue),
+    ):
+        assert state["queues"][qname]["drops"] == queue.drops
+        assert (
+            state["queues"][qname]["high_watermark"] == queue.high_watermark
+        )
+    assert state["arbiter_turn"] == oracle_pipe.arbiter._turn
+
+
+class TestMultiAppIdentity:
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    @pytest.mark.parametrize("policy", ["round_robin", "weighted", "serial"])
+    def test_identical_to_each_app_alone(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace,
+        shards, policy,
+    ):
+        """Per-app results and state never depend on shards or policy."""
+        apps = _apps(quantized_dnn, lstm)
+        oracle_a, pipe_a = _oracle(apps[0], anomaly_trace)
+        oracle_c, pipe_c = _oracle(apps[1], congestion_trace)
+        fabric = MultiAppFabric(
+            apps, shards=shards, chunk_size=64, executor="serial"
+        )
+        outcome = fabric.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace},
+            policy=policy,
+        )
+        _assert_result_equal(outcome.results["anomaly"], oracle_a, "anomaly")
+        _assert_result_equal(
+            outcome.results["congestion"], oracle_c, "congestion"
+        )
+        _assert_state_matches(fabric, "anomaly", pipe_a)
+        _assert_state_matches(fabric, "congestion", pipe_c)
+        assert outcome.n_packets == len(anomaly_trace) + len(congestion_trace)
+        assert outcome.drain_ns == fabric.last_drain_ns > 0
+
+    def test_interleave_does_not_leak_recurrent_or_register_state(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        """Back-to-back multi-app runs == back-to-back standalone runs.
+
+        Register state accumulates across traces *within* an app; a second
+        fabric pass must reproduce a second standalone pass exactly, which
+        it can only do if no state bled between apps during either pass.
+        """
+        apps = _apps(quantized_dnn, lstm)
+        pipe_a = apps[0].build_pipeline(MapReduceBlock(apps[0].graph))
+        pipe_c = apps[1].build_pipeline(MapReduceBlock(apps[1].graph))
+        fabric = MultiAppFabric(apps, shards=2, chunk_size=50)
+        for __ in range(2):
+            oracle_a = pipe_a.process_trace_batch(anomaly_trace, chunk_size=50)
+            oracle_c = pipe_c.process_trace_batch(
+                congestion_trace, chunk_size=50
+            )
+            outcome = fabric.run(
+                {"anomaly": anomaly_trace, "congestion": congestion_trace}
+            )
+            _assert_result_equal(
+                outcome.results["anomaly"], oracle_a, "anomaly"
+            )
+            _assert_result_equal(
+                outcome.results["congestion"], oracle_c, "congestion"
+            )
+            _assert_state_matches(fabric, "anomaly", pipe_a)
+            _assert_state_matches(fabric, "congestion", pipe_c)
+
+    @pytest.mark.parametrize(
+        "executor",
+        ["serial", "thread"] + (["fork"] if HAS_FORK else []),
+    )
+    def test_executors_agree(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace, executor
+    ):
+        """Every executor produces the oracle's exact results and state
+        (fork additionally proves multi-pipeline-per-lane write-back)."""
+        apps = _apps(quantized_dnn, lstm)
+        oracle_a, pipe_a = _oracle(apps[0], anomaly_trace)
+        oracle_c, pipe_c = _oracle(apps[1], congestion_trace)
+        fabric = MultiAppFabric(
+            apps, shards=2, chunk_size=64, executor=executor
+        )
+        outcome = fabric.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace}
+        )
+        _assert_result_equal(outcome.results["anomaly"], oracle_a, "anomaly")
+        _assert_result_equal(
+            outcome.results["congestion"], oracle_c, "congestion"
+        )
+        _assert_state_matches(fabric, "anomaly", pipe_a)
+        _assert_state_matches(fabric, "congestion", pipe_c)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork executor needs POSIX")
+    def test_fork_restores_resident_program(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        """Regression: fork write-back must also sync which program each
+        lane's block left resident — otherwise a *second* run on the same
+        fabric models a different reconfiguration bill per executor."""
+        outcomes = {}
+        for executor in ("serial", "fork"):
+            # Three apps on two lanes: lane 0 time-multiplexes two apps,
+            # so its forked worker leaves a non-initial program resident.
+            apps = _apps(quantized_dnn, lstm) + [
+                FabricApp.from_quantized_dnn(quantized_dnn, name="anomaly2")
+            ]
+            fabric = MultiAppFabric(
+                apps, shards=2, chunk_size=64, executor=executor
+            )
+            traces = {
+                "anomaly": anomaly_trace,
+                "congestion": congestion_trace,
+                "anomaly2": anomaly_trace,
+            }
+            first = fabric.run(traces)
+            assert first.reconfigurations > 0  # lane 0 really switches
+            outcomes[executor] = fabric.run(traces)
+        assert (
+            outcomes["serial"].reconfigurations
+            == outcomes["fork"].reconfigurations
+        )
+        assert outcomes["serial"].drain_ns == outcomes["fork"].drain_ns
+
+    @given(
+        st.integers(min_value=0, max_value=10_000),
+        st.integers(20, 120),
+        st.sampled_from([1, 2, 4]),
+        st.sampled_from(["round_robin", "weighted", "serial"]),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_property_random_workloads(
+        self, quantized_dnn, lstm, seed, n, shards, policy
+    ):
+        """Randomized traces: the fabric never diverges from the oracles."""
+        dataset = generate_connections(max(n // 2, 10), seed=seed)
+        trace_a = expand_to_packets(dataset, max_packets=n, seed=seed)
+        trace_c = congestion_packet_trace(
+            max(n // 3, 5), CFG, seed=seed, n_flows=7
+        )
+        apps = _apps(quantized_dnn, lstm, weights=(2.0, 1.0))
+        oracle_a, __ = _oracle(apps[0], trace_a, chunk_size=17)
+        oracle_c, __ = _oracle(apps[1], trace_c, chunk_size=17)
+        fabric = MultiAppFabric(apps, shards=shards, chunk_size=17)
+        outcome = fabric.run(
+            {"anomaly": trace_a, "congestion": trace_c}, policy=policy
+        )
+        _assert_result_equal(outcome.results["anomaly"], oracle_a, "anomaly")
+        _assert_result_equal(
+            outcome.results["congestion"], oracle_c, "congestion"
+        )
+
+
+class TestReconfigurationAccounting:
+    def test_single_lane_pays_for_program_switches(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        """One shared grid: every app switch bills the issue clock."""
+        apps = _apps(quantized_dnn, lstm)
+        fabric = MultiAppFabric(apps, shards=1, chunk_size=64)
+        rr = fabric.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace},
+            policy="round_robin",
+        )
+        assert rr.reconfigurations > 1
+        assert rr.reconfig_ns > 0
+        serial = fabric.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace},
+            policy="serial",
+        )
+        # Running each app to completion switches once; interleaving
+        # switches on (nearly) every chunk boundary.
+        assert serial.reconfigurations == 1
+        assert serial.reconfigurations < rr.reconfigurations
+        assert serial.drain_ns < rr.drain_ns
+
+    def test_affine_lanes_eliminate_thrash(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        """shards >= apps: each app owns its lanes — zero reconfigs, and
+        concurrent lanes drain faster than the time-shared grid."""
+        apps = _apps(quantized_dnn, lstm)
+        shared = MultiAppFabric(apps, shards=1, chunk_size=64)
+        one = shared.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace}
+        )
+        affine = MultiAppFabric(apps, shards=2, chunk_size=64)
+        two = affine.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace}
+        )
+        assert two.reconfigurations == 0
+        assert two.reconfig_ns == 0.0
+        assert 0 < two.drain_ns < one.drain_ns
+        assert two.model_pkt_per_s > one.model_pkt_per_s
+
+    def test_reconfigure_respects_block_budgets(self, quantized_dnn):
+        """Regression: reconfigure used to drop the block's MU budget and
+        hard-code the CU budget instead of honouring the constructor's."""
+        from repro.mapreduce import dnn_graph
+
+        graph = dnn_graph(quantized_dnn, name="budget_probe")
+        block = MapReduceBlock(graph, cu_budget=4, mu_budget=30)
+        folded = block.design.fold_factor
+        assert folded > 1
+        block.reconfigure(
+            dnn_graph(quantized_dnn, name="budget_probe_swap")
+        )
+        assert block.design.fold_factor == folded  # stays folded
+
+    def test_accounted_swap_advances_issue_clock(self, quantized_dnn):
+        from repro.mapreduce import dnn_graph
+
+        block = MapReduceBlock(dnn_graph(quantized_dnn, name="p0"))
+        other = dnn_graph(quantized_dnn, name="p1")
+        before = block._next_issue_cycle
+        block.reconfigure(other)  # control-plane swap: free by default
+        assert block._next_issue_cycle == before
+        block.reconfigure(block.graph, account=True)
+        assert block._next_issue_cycle == before + block.reconfig_cycles
+        assert block.reconfig_cycles == block.reconfig_cycles_for(block.graph)
+        assert block.graph.config_words() > 0
+
+
+class TestChunkScheduler:
+    def test_round_robin_alternates(self):
+        assert schedule_chunks([3, 3]) == [0, 1, 0, 1, 0, 1]
+        assert schedule_chunks([4, 1]) == [0, 1, 0, 0, 0]
+
+    def test_serial_runs_to_completion(self):
+        assert schedule_chunks([2, 3], policy="serial") == [0, 0, 1, 1, 1]
+
+    def test_weighted_is_proportional(self):
+        order = schedule_chunks(
+            [9, 3], weights=[3.0, 1.0], policy="weighted"
+        )
+        # In every window of 4 issues before either app runs dry, the
+        # 3x-weighted app issues 3 chunks.
+        assert order[:8].count(0) == 6
+        assert [a for a in order if a == 1] == [1, 1, 1]
+
+    def test_weighted_defaults_to_fair(self):
+        assert schedule_chunks([2, 2], policy="weighted") == [0, 1, 0, 1]
+
+    def test_per_app_order_is_fifo(self):
+        for policy in ("round_robin", "weighted", "serial"):
+            order = schedule_chunks([5, 4, 3], policy=policy)
+            assert len(order) == 12
+            for a, count in enumerate((5, 4, 3)):
+                assert order.count(a) == count
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            schedule_chunks([1], policy="lottery")
+        with pytest.raises(ValueError):
+            schedule_chunks([-1])
+        with pytest.raises(ValueError):
+            schedule_chunks([1, 1], weights=[1.0, 0.0], policy="weighted")
+        with pytest.raises(ValueError):
+            schedule_chunks([1, 1], weights=[1.0], policy="weighted")
+
+
+class TestFabricSurface:
+    def test_run_multi_on_dataplane(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        dataplane = TaurusDataPlane(quantized_dnn, shards=2)
+        apps = [
+            dataplane.anomaly_app(),
+            FabricApp.from_lstm(
+                lstm, window_steps=CFG.window_steps, name="congestion"
+            ),
+        ]
+        oracle_a, __ = _oracle(apps[0], anomaly_trace, chunk_size=8192)
+        outcome = dataplane.run_multi(
+            apps,
+            {"anomaly": anomaly_trace, "congestion": congestion_trace},
+        )
+        _assert_result_equal(outcome.results["anomaly"], oracle_a, "anomaly")
+        assert dataplane.last_modeled_drain_ns == outcome.drain_ns > 0
+        assert dataplane.last_fabric is not None
+        assert outcome.shards == 2
+
+    def test_traces_as_sequence(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        apps = _apps(quantized_dnn, lstm)
+        fabric = MultiAppFabric(apps, chunk_size=64)
+        by_name = fabric.run(
+            {"anomaly": anomaly_trace, "congestion": congestion_trace}
+        )
+        fabric2 = MultiAppFabric(_apps(quantized_dnn, lstm), chunk_size=64)
+        by_position = fabric2.run([anomaly_trace, congestion_trace])
+        _assert_result_equal(
+            by_position.results["anomaly"], by_name.results["anomaly"], "a"
+        )
+
+    def test_empty_app_trace(self, quantized_dnn, lstm, anomaly_trace):
+        from repro.datasets.packets import TraceColumns
+
+        apps = _apps(quantized_dnn, lstm)
+        fabric = MultiAppFabric(apps, shards=2, chunk_size=64)
+        outcome = fabric.run(
+            {
+                "anomaly": anomaly_trace,
+                "congestion": TraceColumns.from_packets([]),
+            }
+        )
+        assert len(outcome.results["congestion"]) == 0
+        assert len(outcome.results["anomaly"]) == len(anomaly_trace)
+
+    def test_validation(self, quantized_dnn, lstm, anomaly_trace):
+        apps = _apps(quantized_dnn, lstm)
+        with pytest.raises(ValueError):
+            MultiAppFabric(apps, shards=0)
+        with pytest.raises(ValueError):
+            MultiAppFabric(apps, policy="lottery")
+        fabric = MultiAppFabric(apps)
+        with pytest.raises(ValueError):
+            fabric.register(
+                FabricApp.from_quantized_dnn(quantized_dnn, name="anomaly")
+            )
+        with pytest.raises(ValueError):
+            fabric.run({"anomaly": anomaly_trace})  # congestion missing
+        with pytest.raises(ValueError):
+            MultiAppFabric([]).run({})
+        with pytest.raises(KeyError):
+            fabric.app_state("nope")
+
+    def test_register_after_run_rejected(
+        self, quantized_dnn, lstm, anomaly_trace, congestion_trace
+    ):
+        apps = _apps(quantized_dnn, lstm)
+        fabric = MultiAppFabric(apps, chunk_size=64)
+        fabric.run({"anomaly": anomaly_trace, "congestion": congestion_trace})
+        with pytest.raises(RuntimeError):
+            fabric.register(
+                FabricApp.from_quantized_dnn(quantized_dnn, name="late")
+            )
+
+    def test_unsorted_packet_trace_matches_oracle(
+        self, quantized_dnn, lstm
+    ):
+        """Regression: a PacketTrace whose packets are NOT in arrival
+        order must still merge bit-identically.  The cached
+        ``shard_columns`` partition indexes the trace's *original* column
+        order, so the fabric may only reuse it for already-sorted traces."""
+        from repro.datasets.packets import PacketTrace
+
+        dataset = generate_connections(60, seed=51)
+        sorted_trace = expand_to_packets(dataset, max_packets=200, seed=52)
+        scrambled = PacketTrace(
+            packets=list(reversed(sorted_trace.packets)),
+            flows=sorted_trace.flows,
+            duration=sorted_trace.duration,
+            offered_gbps=sorted_trace.offered_gbps,
+        )
+        app = FabricApp.from_quantized_dnn(quantized_dnn, name="anomaly")
+        oracle, __ = _oracle(app, scrambled, chunk_size=32)
+        for shards in (1, 2, 4):
+            fabric = MultiAppFabric([app], shards=shards, chunk_size=32)
+            outcome = fabric.run({"anomaly": scrambled})
+            _assert_result_equal(
+                outcome.results["anomaly"], oracle, f"shards={shards}"
+            )
+
+    def test_design_cache_is_bounded(self, quantized_dnn):
+        """Regression: per-update fresh graphs must not grow the block's
+        compiled-design cache (and pin their graphs) without bound."""
+        from repro.hw.grid import DESIGN_CACHE_LIMIT
+        from repro.mapreduce import dnn_graph
+
+        block = MapReduceBlock(dnn_graph(quantized_dnn, name="g0"))
+        for i in range(DESIGN_CACHE_LIMIT * 2):
+            block.reconfigure(dnn_graph(quantized_dnn, name=f"g{i + 1}"))
+        assert len(block._design_cache) <= DESIGN_CACHE_LIMIT
+        # The resident program always stays cached.
+        assert any(
+            g is block.graph for g, __ in block._design_cache.values()
+        )
+
+    def test_lane_affinity_map(self, quantized_dnn, lstm):
+        apps = _apps(quantized_dnn, lstm)
+        assert MultiAppFabric(apps, shards=1).lane_apps() == [[0, 1]]
+        assert MultiAppFabric(apps, shards=2).lane_apps() == [[0], [1]]
+        assert MultiAppFabric(apps, shards=4).lane_apps() == [
+            [0], [1], [0], [1],
+        ]
+        fabric = MultiAppFabric(apps, shards=4)
+        assert fabric.app_lanes(0) == [0, 2]
+        assert fabric.app_lanes(1) == [1, 3]
+
+
+class TestExperimentScenario:
+    def test_multi_app_row(self):
+        from repro.testbed import EndToEndExperiment
+
+        experiment = EndToEndExperiment.build(
+            n_connections=400, max_packets=3000, epochs=2, seed=0
+        )
+        row = experiment.run_multi_app(
+            n_congestion_packets=200, lstm_sequences=80, lstm_epochs=1
+        )
+        assert row.policy == "round_robin"
+        assert row.n_packets == 3000 + 200
+        assert row.drain_ns > 0
+        # shards=1 data plane: the two apps time-share one grid.
+        assert row.reconfigurations > 0
+        assert 0.0 <= row.congestion_action_agreement <= 1.0
+        # The shared fabric must not change what the anomaly app detects.
+        solo = experiment.taurus_result()
+        assert row.anomaly == solo

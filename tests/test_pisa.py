@@ -569,3 +569,92 @@ class TestScheduler:
             pifo.push(r, rank=r)
         popped = [pifo.pop() for __ in range(len(ranks))]
         assert popped == sorted(popped)
+
+    # ------------------------------------------------------------------
+    # PacketQueue deque regression (pop was list.pop(0): O(N^2) drains)
+    # ------------------------------------------------------------------
+    def test_packet_queue_fifo_drop_watermark_semantics(self):
+        q = PacketQueue("q", capacity=3)
+        assert q.push(1) and q.push(2) and q.push(3)
+        assert not q.push(4)  # tail-drop at capacity
+        assert q.drops == 1
+        assert q.pop() == 1  # FIFO head
+        assert q.push(5)
+        assert [q.pop(), q.pop(), q.pop()] == [2, 3, 5]
+        assert q.high_watermark == 3  # survives the drain
+        assert q.drops == 1
+        with pytest.raises(IndexError):
+            q.pop()
+
+    def test_packet_queue_full_trace_drain_is_linear(self):
+        """200k push/pop pairs must complete promptly — the old
+        ``list.pop(0)`` head-pop made this quadratic (tens of seconds)."""
+        import time
+
+        q = PacketQueue("q", capacity=300_000)
+        t0 = time.perf_counter()
+        for i in range(200_000):
+            q.push(i)
+        for i in range(200_000):
+            assert q.pop() == i
+        assert time.perf_counter() - t0 < 5.0
+        assert q.high_watermark == 200_000
+
+    # ------------------------------------------------------------------
+    # Round-robin fairness on uneven / bursty queue mixes
+    # ------------------------------------------------------------------
+    def test_round_robin_uneven_backlogs_alternate_until_exhaustion(self):
+        a = PacketQueue("a")
+        b = PacketQueue("b")
+        for i in range(9):
+            a.push(f"a{i}")
+        for i in range(3):
+            b.push(f"b{i}")
+        arb = RoundRobinArbiter([a, b])
+        order = arb.drain()
+        # Strict alternation while both are backlogged, then the longer
+        # queue drains alone — no starvation, no double-serving.
+        assert order[:6] == ["a0", "b0", "a1", "b1", "a2", "b2"]
+        assert order[6:] == [f"a{i}" for i in range(3, 9)]
+
+    def test_round_robin_bursty_arrivals_share_fairly(self):
+        """Bursts landing on one queue must not starve the other: while
+        both queues hold packets, service strictly alternates."""
+        rng = np.random.default_rng(7)
+        a = PacketQueue("a", capacity=10_000)
+        b = PacketQueue("b", capacity=10_000)
+        arb = RoundRobinArbiter([a, b])
+        served: list[str] = []
+        for __ in range(400):
+            # Bursty offered load: one queue gets a burst, the other a
+            # trickle, swapping at random.
+            burst, trickle = (a, b) if rng.random() < 0.5 else (b, a)
+            for __ in range(int(rng.integers(0, 8))):
+                burst.push(burst.name)
+            if rng.random() < 0.5:
+                trickle.push(trickle.name)
+            both_busy = len(a) > 0 and len(b) > 0
+            item = arb.select()
+            if both_busy and served and len(a) and len(b):
+                assert item != served[-1], "double-served a busy mix"
+            if item is not None:
+                served.append(item)
+        served += arb.drain()
+        assert served.count("a") == 0 or served.count("b") > 0
+        # Everything offered was eventually served.
+        assert len(a) == 0 and len(b) == 0
+
+    def test_round_robin_counts_match_offered_load(self):
+        """Equal standing backlogs get exactly equal service."""
+        a = PacketQueue("a", capacity=2000)
+        b = PacketQueue("b", capacity=2000)
+        for i in range(500):
+            a.push(("a", i))
+            b.push(("b", i))
+        arb = RoundRobinArbiter([a, b])
+        first_half = [arb.select() for __ in range(500)]
+        names = [name for name, __ in first_half]
+        assert names.count("a") == 250
+        assert names.count("b") == 250
+        # And FIFO within each queue.
+        assert [i for name, i in first_half if name == "a"] == list(range(250))

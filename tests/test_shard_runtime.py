@@ -334,6 +334,102 @@ class TestShardedDataPlane:
             TaurusDataPlane(quantized_dnn, shards=0)
 
 
+class TestArbiterMergeWithBypass:
+    """The merged arbiter turn under ``shards > 1`` must follow the shard
+    that processed the globally-last packet — observable only when the
+    bypass split makes per-shard turns diverge."""
+
+    @staticmethod
+    def _bypass_pipeline(block, slots: int) -> TaurusPipeline:
+        scalar_post, batch_post = threshold_postprocess(0.5)
+
+        def bypass_scalar(phv) -> bool:
+            return int(phv.get("protocol")) == 1
+
+        def bypass_batch(batch):
+            return batch.int_column("protocol") == 1
+
+        pipe = TaurusPipeline(
+            block=block,
+            feature_names=DNN_FEATURES,
+            bypass_predicate=bypass_scalar,
+            bypass_predicate_batch=bypass_batch,
+            postprocess=scalar_post,
+            postprocess_batch=batch_post,
+        )
+        pipe.accumulator = FlowFeatureAccumulator(slots=slots)
+        return pipe
+
+    @staticmethod
+    def _two_flow_packets(last_protocol: int):
+        """Alternating packets of an ML flow (proto 0) and a bypass flow
+        (proto 1) that provably land on *different* shards, ending on the
+        requested flow."""
+        rng = np.random.default_rng(41)
+        ml_headers = {
+            "protocol": 0, "src_ip": 0x0A000001, "dst_ip": 0xC0A80A0A,
+            "src_port": 1024, "dst_port": 80,
+        }
+        for port in range(2000, 2600):
+            bypass_headers = {
+                "protocol": 1, "src_ip": 0x0B000001, "dst_ip": 0xC0A90A0A,
+                "src_port": port, "dst_port": 53,
+            }
+            probe = []
+            for headers in (ml_headers, bypass_headers):
+                packet = _packet(rng, 0.0)
+                packet.headers.update(headers)
+                probe.append(packet)
+            assignments = TraceColumns.from_packets(probe).shard_assignments(
+                2, 16
+            )
+            if assignments[0] != assignments[1]:
+                break
+        else:  # pragma: no cover - FNV would have to collide 600 times
+            pytest.fail("could not split the two flows across shards")
+        packets = []
+        for i, t in enumerate(np.linspace(0.0, 0.01, 41)):
+            headers = (
+                ml_headers
+                if (i + last_protocol) % 2 == 0
+                else bypass_headers
+            )
+            packet = _packet(rng, float(t))
+            packet.headers.update(headers)
+            packets.append(packet)
+        assert packets[-1].headers["protocol"] == last_protocol
+        return packets
+
+    @pytest.mark.parametrize("last_protocol", [0, 1])
+    def test_merged_turn_tracks_globally_last_packet(
+        self, blocks, last_protocol
+    ):
+        # The final packet pins the merged turn: protocol 0 drains the ML
+        # queue (turn -> bypass), protocol 1 the bypass queue (turn -> ml).
+        columns = TraceColumns.from_packets(
+            self._two_flow_packets(last_protocol)
+        )
+        _reset(blocks[0])
+        oracle = self._bypass_pipeline(blocks[0], 16)
+        for block in blocks[1:3]:
+            _reset(block)
+        runtime = ShardedRuntime(
+            lambda i: self._bypass_pipeline(blocks[i + 1], 16), shards=2
+        )
+        expected = oracle.process_trace_batch(columns, chunk_size=16)
+        merged = runtime.process_trace(columns, chunk_size=16)
+        assert np.array_equal(expected.bypassed, merged.bypassed)
+        state = runtime.merged_state()
+        assert state["arbiter_turn"] == oracle.arbiter._turn
+        assert state["arbiter_turn"] == (last_protocol + 1) % 2
+        # Each flow's shard saw only its own path, so per-shard turns
+        # genuinely diverge — the merge has a real choice to make.
+        turns = {pipe.arbiter._turn for pipe in runtime.pipelines}
+        assert turns == {0, 1}
+        assert state["queues"]["ml"]["high_watermark"] == 1
+        assert state["queues"]["bypass"]["high_watermark"] == 1
+
+
 class TestRuntimePrimitives:
     def test_prefetch_preserves_order(self):
         items = [(i, np.full(4, i)) for i in range(17)]
@@ -361,6 +457,49 @@ class TestRuntimePrimitives:
         it = prefetch(iter([1, 2, 3]), depth=2)
         assert next(it) == 1
         it.close()
+        assert not it._worker.is_alive()
+
+    def test_prefetch_early_break_stops_producer_promptly(self):
+        """Abandoning the iterator must not leave the producer parked in
+        ``buffer.put`` until its poll times out: close() drains the
+        buffer, so the worker exits and joins immediately."""
+        import time
+
+        with prefetch(iter(range(1_000_000)), depth=2) as staged:
+            for item in staged:
+                if item == 3:
+                    break
+        t0 = time.perf_counter()
+        staged.close()  # idempotent; the with-block already closed
+        assert time.perf_counter() - t0 < 0.05
+        assert not staged._worker.is_alive()
+
+    def test_prefetch_consumer_exception_cleans_up(self):
+        """A consumer-side exception mid-iteration must stop the producer
+        deterministically (no reliance on GC collecting a generator)."""
+        staged = prefetch(iter(range(1_000_000)), depth=2)
+        with pytest.raises(RuntimeError, match="consumer blew up"):
+            with staged:
+                for __ in staged:
+                    raise RuntimeError("consumer blew up")
+        assert not staged._worker.is_alive()
+        with pytest.raises(StopIteration):
+            next(staged)  # closed iterators are exhausted
+
+    def test_prefetch_closes_generator_source(self):
+        """A generator source's finally-block runs on shutdown."""
+        cleaned = []
+
+        def source():
+            try:
+                for i in range(1_000_000):
+                    yield i
+            finally:
+                cleaned.append(True)
+
+        with prefetch(source(), depth=2) as staged:
+            assert next(staged) == 0
+        assert cleaned == [True]
 
     def test_prefetch_validates_depth(self):
         with pytest.raises(ValueError):
@@ -381,6 +520,18 @@ class TestRuntimePrimitives:
 
         with pytest.raises(RuntimeError, match="shard exploded"):
             run_tasks([boom, lambda: 1], "fork")
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork executor needs POSIX")
+    def test_fork_nonzero_exit_status_surfaces(self, monkeypatch):
+        """Regression: a child that ships a well-formed payload but dies
+        nonzero (e.g. killed during ``os._exit`` bookkeeping) was silently
+        trusted.  The patched ``os._exit`` is inherited by the forked
+        children, so every worker writes a good result and then exits 5 —
+        the parent must refuse all of them."""
+        real_exit = os._exit
+        monkeypatch.setattr(os, "_exit", lambda status: real_exit(5))
+        with pytest.raises(RuntimeError, match="exited with status 5"):
+            run_tasks([lambda: 1, lambda: 2], "fork")
 
     def test_unknown_executor_rejected(self):
         with pytest.raises(ValueError):
