@@ -102,6 +102,33 @@ def main() -> None:
         f"issues {len(two.results['congestion'])} cwnd actions — same fabric"
     )
 
+    # 7. Persistent shard pool: serving many (small) traces back to back,
+    #    the fork-per-run setup dominates.  pool=True keeps pre-forked
+    #    workers warm across runs and streams pipelined chunks to them;
+    #    per-run rewind keeps every result identical to a cold run.
+    import time
+
+    small_traces = [
+        expand_to_packets(held_out, max_packets=500, seed=s) for s in (31, 32, 33)
+    ]
+    per_run = TaurusDataPlane(detector.quantized, shards=2, executor="fork")
+    print("\nreplaying 3 small traces, fork-per-run vs a warm pool ...")
+    t0 = time.perf_counter()
+    cold = [per_run.run_switch(t) for t in small_traces]
+    cold_s = time.perf_counter() - t0
+    with TaurusDataPlane(
+        detector.quantized, shards=2, executor="fork", pool=True
+    ) as pooled:
+        pooled.run_switch(small_traces[0])  # spawn + warm the workers
+        t0 = time.perf_counter()
+        warm = [pooled.run_switch(t) for t in small_traces]
+        warm_s = time.perf_counter() - t0
+    assert cold == warm, "warm-pool runs must match fork-per-run exactly"
+    print(
+        f"fork-per-run {cold_s * 1e3:.0f} ms -> warm pool {warm_s * 1e3:.0f} ms "
+        f"({cold_s / warm_s:.1f}x) for identical results"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -504,24 +504,44 @@ class TaurusPipeline:
                 for queue in (self.ml_queue, self.bypass_queue)
             ],
             "arbiter_turn": self.arbiter._turn,
-            "block": (
-                None
-                if self.block is None
-                else {
-                    "next_issue_cycle": self.block._next_issue_cycle,
-                    "packets_processed": self.block.packets_processed,
-                    "reconfigurations": self.block.reconfigurations,
-                    "reconfig_cycles": self.block.reconfig_cycles,
-                    # Graphs hold closures and cannot cross the pipe, so
-                    # the resident program travels as "is it mine?" — the
-                    # owning pipeline re-installs it on restore.
-                    "program_resident": (
-                        self.program is not None
-                        and self.block.graph is self.program
-                    ),
-                }
+            "block": self._block_state(),
+        }
+
+    def _block_state(self) -> dict | None:
+        """The attached block's mutable counters, as a picklable dict."""
+        if self.block is None:
+            return None
+        return {
+            "next_issue_cycle": self.block._next_issue_cycle,
+            "packets_processed": self.block.packets_processed,
+            "reconfigurations": self.block.reconfigurations,
+            "reconfig_cycles": self.block.reconfig_cycles,
+            # Graphs hold closures and cannot cross the pipe, so the
+            # resident program travels as "is it mine?" — the owning
+            # pipeline re-installs it on restore.
+            "program_resident": (
+                self.program is not None and self.block.graph is self.program
             ),
         }
+
+    def _restore_block(self, block_state: dict | None) -> None:
+        """Install a :meth:`_block_state` payload onto the local block."""
+        if self.block is None or block_state is None:
+            return
+        if (
+            block_state["program_resident"]
+            and self.program is not None
+            and self.block.graph is not self.program
+        ):
+            # Re-install the program the (forked) twin left resident, so
+            # later runs model reconfigurations identically across
+            # executors.  The counter restore below overwrites the swap
+            # this bookkeeping install records.
+            self.block.reconfigure(self.program)
+        self.block._next_issue_cycle = block_state["next_issue_cycle"]
+        self.block.packets_processed = block_state["packets_processed"]
+        self.block.reconfigurations = block_state["reconfigurations"]
+        self.block.reconfig_cycles = block_state["reconfig_cycles"]
 
     def restore_state(self, snapshot: dict) -> None:
         """Install a :meth:`state_snapshot` taken from this pipeline's twin."""
@@ -543,22 +563,103 @@ class TaurusPipeline:
             queue.drops = drops
             queue.high_watermark = high_watermark
         self.arbiter._turn = snapshot["arbiter_turn"]
-        if self.block is not None and snapshot["block"] is not None:
-            block_state = snapshot["block"]
-            if (
-                block_state["program_resident"]
-                and self.program is not None
-                and self.block.graph is not self.program
-            ):
-                # Re-install the program the (forked) twin left resident,
-                # so later runs model reconfigurations identically across
-                # executors.  The counter restore below overwrites the
-                # swap this bookkeeping install records.
-                self.block.reconfigure(self.program)
-            self.block._next_issue_cycle = block_state["next_issue_cycle"]
-            self.block.packets_processed = block_state["packets_processed"]
-            self.block.reconfigurations = block_state["reconfigurations"]
-            self.block.reconfig_cycles = block_state["reconfig_cycles"]
+        self._restore_block(snapshot["block"])
+
+    # ------------------------------------------------------------------
+    # Incremental state transport (persistent shard pools)
+    # ------------------------------------------------------------------
+    def state_delta(self, base: dict) -> dict:
+        """Sparse diff of the current state against a prior snapshot.
+
+        A persistent pool worker ships its state *per chunk* rather than
+        once per run; a full :meth:`state_snapshot` per chunk would copy
+        every register array (the accumulator holds 64k slots by
+        default), so this returns only what moved since ``base`` — the
+        register slots whose values changed (index/value pairs), counter
+        increments, and the handful of small absolute fields (arbiter
+        turn, queue watermarks, block clock).  ``base`` — a
+        :meth:`state_snapshot` dict — is **updated in place** to the
+        current state, so the worker calls this once per chunk and every
+        message stays bounded by the chunk's own footprint.
+        :meth:`apply_state_delta` is the inverse.
+        """
+        registers: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+        for name in self._REGISTER_NAMES:
+            current = getattr(self.accumulator, name).values
+            prior = base["registers"][name]
+            changed = np.flatnonzero(current != prior)
+            if len(changed):
+                values = current[changed].copy()
+                registers[name] = (changed, values)
+                prior[changed] = values
+        stats: dict[str, int] = {}
+        for key, value in self.stats.items():
+            moved = value - base["stats"].get(key, 0)
+            if moved:
+                stats[key] = moved
+                base["stats"][key] = value
+        tables: list[tuple[int, int, list[int]]] = []
+        for t, table in enumerate(
+            (*self.preprocess_tables, *self.postprocess_tables)
+        ):
+            prior_lookups, prior_misses, prior_hits = base["tables"][t]
+            hits = [entry.hits for entry in table.entries]
+            tables.append(
+                (
+                    table.lookups - prior_lookups,
+                    table.misses - prior_misses,
+                    [now - before for now, before in zip(hits, prior_hits)],
+                )
+            )
+            base["tables"][t] = (table.lookups, table.misses, hits)
+        queues: list[tuple[int, int]] = []
+        for q, queue in enumerate((self.ml_queue, self.bypass_queue)):
+            prior_drops, __ = base["queues"][q]
+            queues.append((queue.drops - prior_drops, queue.high_watermark))
+            base["queues"][q] = (queue.drops, queue.high_watermark)
+        parser_moved = self.parser.packets_parsed - base["parser_packets"]
+        base["parser_packets"] = self.parser.packets_parsed
+        base["arbiter_turn"] = self.arbiter._turn
+        block_state = self._block_state()
+        base["block"] = block_state
+        return {
+            "stats": stats,
+            "registers": registers,
+            "parser_packets": parser_moved,
+            "tables": tables,
+            "queues": queues,
+            "arbiter_turn": self.arbiter._turn,
+            "block": block_state,
+        }
+
+    def apply_state_delta(self, delta: dict) -> None:
+        """Fold a worker's :meth:`state_delta` into this pipeline.
+
+        Counters add, changed register slots overwrite, and the small
+        absolute fields (arbiter turn, watermarks, block clock) install
+        directly — applying a run's deltas in chunk order leaves this
+        pipeline exactly where the worker's twin ended up.
+        """
+        for key, moved in delta["stats"].items():
+            self.stats[key] = self.stats.get(key, 0) + moved
+        for name, (indices, values) in delta["registers"].items():
+            getattr(self.accumulator, name).values[indices] = values
+        self.parser.packets_parsed += delta["parser_packets"]
+        tables = (*self.preprocess_tables, *self.postprocess_tables)
+        if len(tables) != len(delta["tables"]):
+            raise ValueError("delta does not match this pipeline's tables")
+        for table, (lookups, misses, hits) in zip(tables, delta["tables"]):
+            table.lookups += lookups
+            table.misses += misses
+            for entry, entry_hits in zip(table.entries, hits):
+                entry.hits += entry_hits
+        for queue, (drops, high_watermark) in zip(
+            (self.ml_queue, self.bypass_queue), delta["queues"]
+        ):
+            queue.drops += drops
+            queue.high_watermark = high_watermark
+        self.arbiter._turn = delta["arbiter_turn"]
+        self._restore_block(delta["block"])
 
     @property
     def added_latency_ns(self) -> float:

@@ -3,12 +3,16 @@
 The scale-out layer above the batched pipeline: flow-consistent sharding
 across parallel pipeline workers (:class:`ShardedRuntime`), pluggable
 executors (:func:`run_tasks`), double-buffered chunk staging
-(:func:`prefetch`), and time-multiplexing of several compiled apps over
-shared grid lanes (:class:`MultiAppFabric`).
+(:func:`prefetch`), time-multiplexing of several compiled apps over
+shared grid lanes (:class:`MultiAppFabric`), and persistent pre-forked
+worker pools with pipelined chunk dispatch (:class:`ShardPool`) that
+amortize per-run setup across consecutive runs.
 """
 
 from .executors import (
     EXECUTORS,
+    ForkWorker,
+    WorkerCrash,
     available_parallelism,
     resolve_executor,
     run_tasks,
@@ -21,9 +25,17 @@ from .fabric import (
     schedule_chunks,
 )
 from .overlap import prefetch
+from .pool import (
+    POOL_MODES,
+    LaneWorker,
+    PipelineShardWorker,
+    ShardPool,
+    resolve_pool_mode,
+)
 from .sharded import (
     ShardedRuntime,
     as_trace_columns,
+    concat_results,
     empty_trace_result,
     merge_pipeline_state,
     scatter_merge,
@@ -31,6 +43,8 @@ from .sharded import (
 
 __all__ = [
     "EXECUTORS",
+    "ForkWorker",
+    "WorkerCrash",
     "available_parallelism",
     "resolve_executor",
     "run_tasks",
@@ -40,8 +54,14 @@ __all__ = [
     "MultiAppResult",
     "schedule_chunks",
     "prefetch",
+    "POOL_MODES",
+    "LaneWorker",
+    "PipelineShardWorker",
+    "ShardPool",
+    "resolve_pool_mode",
     "ShardedRuntime",
     "as_trace_columns",
+    "concat_results",
     "empty_trace_result",
     "merge_pipeline_state",
     "scatter_merge",

@@ -20,11 +20,25 @@ from __future__ import annotations
 
 import os
 import pickle
+import signal
+import struct
 import sys
+import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
 
-__all__ = ["EXECUTORS", "available_parallelism", "resolve_executor", "run_tasks"]
+__all__ = [
+    "EXECUTORS",
+    "ERROR_REQUEST",
+    "ForkWorker",
+    "WorkerCrash",
+    "WorkerDispatchError",
+    "available_parallelism",
+    "read_frame",
+    "resolve_executor",
+    "run_tasks",
+    "write_frame",
+]
 
 #: Accepted values for the ``executor`` knob.
 EXECUTORS = ("auto", "serial", "thread", "fork")
@@ -64,7 +78,10 @@ def run_tasks(tasks: Sequence[Callable[[], object]], mode: str = "auto") -> list
     if strategy == "serial":
         return [task() for task in tasks]
     if strategy == "thread":
-        with ThreadPoolExecutor(max_workers=len(tasks)) as pool:
+        # Cap at the CPUs this process may actually use: a 64-shard run on
+        # a 4-core host queues on 4 threads instead of oversubscribing.
+        workers = min(len(tasks), available_parallelism())
+        with ThreadPoolExecutor(max_workers=workers) as pool:
             futures = [pool.submit(task) for task in tasks]
             return [future.result() for future in futures]
     return _fork_map(tasks)
@@ -82,7 +99,19 @@ def _fork_map(tasks: Sequence[Callable[[], object]]) -> list:
         read_fd, write_fd = os.pipe()
         sys.stdout.flush()
         sys.stderr.flush()
-        pid = os.fork()
+        try:
+            pid = os.fork()
+        except BaseException:
+            # A mid-loop fork failure (e.g. EAGAIN) must not leak this
+            # task's pipe or strand the children already spawned: close
+            # both ends, unblock the survivors (closing our read end
+            # EPIPEs any writer), and reap them before re-raising.
+            os.close(read_fd)
+            os.close(write_fd)
+            for spawned_pid, spawned_read_fd in children:
+                os.close(spawned_read_fd)
+                os.waitpid(spawned_pid, 0)
+            raise
         if pid == 0:  # child
             os.close(read_fd)
             status = 0
@@ -149,3 +178,252 @@ def _fork_map(tasks: Sequence[Callable[[], object]]) -> list:
     if failures:
         raise RuntimeError("sharded worker failed: " + "; ".join(failures))
     return results
+
+
+# ----------------------------------------------------------------------
+# Persistent worker protocol (the ShardPool substrate)
+# ----------------------------------------------------------------------
+#: Length-prefix framing for pickled messages over a pipe: 8-byte little-
+#: endian payload size, then the payload.  Framing (rather than
+#: read-to-EOF, as ``_fork_map`` uses) is what lets one long-lived worker
+#: serve many requests over one pipe pair.
+_FRAME_HEADER = struct.Struct("<Q")
+
+#: Request kind that reports a parent-side dispatch failure; the worker
+#: echoes it back as an abort response, so a collector blocked on the
+#: response pipe wakes with the error instead of hanging forever.
+ERROR_REQUEST = "__error__"
+
+
+def write_frame(sink, payload: bytes) -> None:
+    """Write one framed message to a binary file object and flush it."""
+    sink.write(_FRAME_HEADER.pack(len(payload)))
+    sink.write(payload)
+    sink.flush()
+
+
+def _read_exact(source, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary."""
+    data = bytearray()
+    while len(data) < n:
+        piece = source.read(n - len(data))
+        if not piece:
+            return None if not data else bytes(data)
+        data.extend(piece)
+    return bytes(data)
+
+
+def read_frame(source) -> bytes | None:
+    """Read one framed message; None when the peer closed the pipe."""
+    header = _read_exact(source, _FRAME_HEADER.size)
+    if header is None or len(header) < _FRAME_HEADER.size:
+        return None
+    (length,) = _FRAME_HEADER.unpack(header)
+    body = _read_exact(source, length)
+    if body is None or len(body) < length:
+        return None  # torn frame == dead peer, callers treat both as EOF
+    return body
+
+
+class WorkerDispatchError(RuntimeError):
+    """The parent-side dispatch of a request stream failed mid-run.
+
+    Raised by :meth:`ForkWorker.recv` when the worker echoes an
+    :data:`ERROR_REQUEST` back — the stream's iterator raised, or a
+    payload would not pickle.  The worker itself is healthy and the
+    conversation is in sync (nothing was sent after the error), so no
+    restart is needed, but the run cannot complete.
+    """
+
+
+class WorkerCrash(RuntimeError):
+    """A persistent worker process died mid-conversation.
+
+    Carries the worker's pid and its decoded exit status (negative values
+    are ``-signum``, matching :func:`os.waitstatus_to_exitcode`), so pool
+    owners can report *how* the worker died and replace it.
+    """
+
+    def __init__(self, pid: int, exit_status: int | None, detail: str = ""):
+        self.pid = pid
+        self.exit_status = exit_status
+        status = "unknown" if exit_status is None else str(exit_status)
+        if exit_status is not None and exit_status < 0:
+            status += f" (killed by signal {-exit_status})"
+        message = f"pool worker pid {pid} died (exit status {status})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+def _serve(context, request_fd: int, response_fd: int) -> None:
+    """A forked worker's request loop: framed pickles in, framed out.
+
+    Runs until the parent closes the request pipe (EOF is the shutdown
+    signal).  Handler exceptions are reported in-band — ``(False, msg)``
+    — so one bad chunk doesn't kill the worker.
+    """
+    with os.fdopen(request_fd, "rb") as rx, os.fdopen(response_fd, "wb") as tx:
+        while True:
+            frame = read_frame(rx)
+            if frame is None:
+                return
+            kind, payload = pickle.loads(frame)
+            if kind == ERROR_REQUEST:
+                # Parent-side dispatch failure: echo it back so the
+                # parent's collector unblocks with the error.
+                response = ("abort", payload)
+            else:
+                try:
+                    response = (True, context.handle(kind, payload))
+                except BaseException as exc:  # report, never unwind the loop
+                    response = (False, f"{type(exc).__name__}: {exc}")
+            write_frame(
+                tx, pickle.dumps(response, protocol=pickle.HIGHEST_PROTOCOL)
+            )
+
+
+class ForkWorker:
+    """One pre-forked child process serving requests over a pipe pair.
+
+    The child inherits ``context`` copy-on-write at fork time and answers
+    ``handle(kind, payload)`` requests until closed — the cross-process
+    half of :class:`~repro.runtime.pool.ShardPool`.  Requests and
+    responses are framed pickles; only per-chunk data crosses the pipes,
+    never the context itself.
+
+    ``extra_close_fds`` are parent-side pipe ends of *sibling* workers:
+    the child must close its inherited copies, or a sibling would never
+    see EOF when the parent closes its request pipe.
+    """
+
+    def __init__(self, context, extra_close_fds: Sequence[int] = ()):
+        if not hasattr(os, "fork"):
+            raise RuntimeError("ForkWorker requires os.fork (POSIX only)")
+        request_read, request_write = os.pipe()
+        response_read, response_write = os.pipe()
+        sys.stdout.flush()
+        sys.stderr.flush()
+        pid = os.fork()
+        if pid == 0:  # child
+            status = 0
+            try:
+                os.close(request_write)
+                os.close(response_read)
+                for fd in extra_close_fds:
+                    try:
+                        os.close(fd)
+                    except OSError:
+                        pass
+                _serve(context, request_read, response_write)
+            except BaseException:
+                status = 1
+            finally:
+                os._exit(status)  # skip atexit/pytest teardown in the child
+        os.close(request_read)
+        os.close(response_write)
+        self.pid = pid
+        self._tx = os.fdopen(request_write, "wb")
+        self._rx = os.fdopen(response_read, "rb")
+        self._exit_status: int | None = None
+
+    @property
+    def parent_fds(self) -> tuple[int, int]:
+        """Parent-side fds a later sibling's child must close."""
+        return (self._tx.fileno(), self._rx.fileno())
+
+    @property
+    def alive(self) -> bool:
+        if self._exit_status is not None:
+            return False
+        pid, status = os.waitpid(self.pid, os.WNOHANG)
+        if pid:
+            self._exit_status = os.waitstatus_to_exitcode(status)
+            return False
+        return True
+
+    # ------------------------------------------------------------------
+    # Conversation
+    # ------------------------------------------------------------------
+    def send(self, kind: str, payload) -> None:
+        try:
+            write_frame(
+                self._tx,
+                pickle.dumps((kind, payload), protocol=pickle.HIGHEST_PROTOCOL),
+            )
+        except (BrokenPipeError, OSError, ValueError) as exc:
+            # ValueError: the pipe was closed under us (pool shutdown).
+            raise WorkerCrash(
+                self.pid, self.reap(), f"request pipe broke ({exc})"
+            ) from None
+
+    def recv(self):
+        """The next response, in request order.
+
+        Raises :class:`WorkerCrash` if the child died (EOF / torn frame),
+        :class:`WorkerDispatchError` if the parent-side dispatch failed
+        (echoed :data:`ERROR_REQUEST`), or ``RuntimeError`` if the child
+        survived but its handler raised.
+        """
+        try:
+            frame = read_frame(self._rx)
+        except (OSError, ValueError):  # pipe closed under us (pool shutdown)
+            frame = None
+        if frame is None:
+            raise WorkerCrash(self.pid, self.reap(), "response pipe closed")
+        status, payload = pickle.loads(frame)
+        if status == "abort":
+            raise WorkerDispatchError(
+                f"dispatch to pool worker pid {self.pid} failed: {payload}"
+            )
+        if not status:
+            raise RuntimeError(f"pool worker pid {self.pid} failed: {payload}")
+        return payload
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def reap(self, timeout: float = 1.0) -> int:
+        """Wait for the child (bounded), SIGKILL past the deadline."""
+        if self._exit_status is not None:
+            return self._exit_status
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                pid, status = os.waitpid(self.pid, os.WNOHANG)
+            except ChildProcessError:
+                self._exit_status = 0  # already reaped elsewhere
+                return self._exit_status
+            if pid:
+                break
+            if time.monotonic() >= deadline:
+                try:
+                    os.kill(self.pid, signal.SIGKILL)
+                except ProcessLookupError:
+                    pass
+                try:
+                    __, status = os.waitpid(self.pid, 0)
+                except ChildProcessError:
+                    # A concurrent reap (collector vs close()) won the
+                    # race; keep its status if it landed first.
+                    if self._exit_status is None:
+                        self._exit_status = 0
+                    return self._exit_status
+                break
+            time.sleep(0.002)
+        self._exit_status = os.waitstatus_to_exitcode(status)
+        return self._exit_status
+
+    def close(self, timeout: float = 5.0) -> int:
+        """Deterministic shutdown: EOF the request pipe, then reap.
+
+        Safe to call repeatedly and regardless of worker state; a child
+        stuck mid-chunk is SIGKILLed once ``timeout`` expires.  Returns
+        the child's exit status.
+        """
+        for stream in (self._tx, self._rx):
+            try:
+                stream.close()
+            except OSError:
+                pass
+        return self.reap(timeout)

@@ -53,8 +53,10 @@ from ..pisa.pipeline import (
 )
 from ..pisa.registers import FlowFeatureAccumulator
 from .executors import resolve_executor, run_tasks
+from .pool import LaneWorker, ShardPool, pool_mode_for_executor
 from .sharded import (
     as_trace_columns,
+    concat_results,
     empty_trace_result,
     merge_pipeline_state,
     scatter_merge,
@@ -305,6 +307,14 @@ class MultiAppFabric:
     policy:
         Default scheduling policy for :meth:`run` (see
         :func:`schedule_chunks`).
+    pool:
+        Persistent-worker path, as in
+        :class:`~repro.runtime.ShardedRuntime`: ``True`` (or a mode
+        string) keeps one long-lived worker per lane across runs,
+        dispatching the scheduled per-app chunks through the pipelined
+        pipe protocol instead of one task per lane per run.  Close the
+        fabric (context manager or :meth:`close`) when a pool is
+        attached.
     """
 
     def __init__(
@@ -314,6 +324,7 @@ class MultiAppFabric:
         executor: str = "auto",
         chunk_size: int = DEFAULT_TRACE_CHUNK,
         policy: str = "round_robin",
+        pool: bool | str = False,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -330,11 +341,38 @@ class MultiAppFabric:
         self.apps: list[FabricApp] = []
         self._lanes: list[_Lane] | None = None
         self._app_turns: dict[int, int] = {}
+        self._pool_request = pool
+        self.pool: ShardPool | None = None
         #: Modeled drain of the last run (slowest lane; reconfiguration
         #: and interleave costs included).
         self.last_drain_ns = 0.0
         for app in apps:
             self.register(app)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the attached lane-worker pool down (no-op without one)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "MultiAppFabric":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def reset_state(self) -> None:
+        """Rewind every lane pipeline (and pool worker) to the pristine
+        post-build mark, so a reused fabric behaves like a fresh one
+        (see :meth:`ShardPool.rewind`)."""
+        if self._lanes is None:
+            return
+        if self.pool is None:
+            raise RuntimeError("reset_state requires a pool-backed fabric")
+        self.pool.rewind()
+        self._app_turns.clear()
 
     # ------------------------------------------------------------------
     # Registration and lane topology
@@ -389,6 +427,19 @@ class MultiAppFabric:
                     )
                 )
             self._lanes = lanes
+            if self._pool_request:
+                mode = (
+                    self._pool_request
+                    if isinstance(self._pool_request, str)
+                    else pool_mode_for_executor(self.executor)
+                )
+                contexts = [LaneWorker(lane.pipelines) for lane in lanes]
+                # Mark the pristine post-build state before spawning so
+                # workers (and crash replacements) inherit the rewind
+                # point and reset_state() ships zero payload.
+                for context in contexts:
+                    context.handle("mark", None)
+                self.pool = ShardPool(contexts, mode=mode)
         return self._lanes
 
     # ------------------------------------------------------------------
@@ -459,18 +510,21 @@ class MultiAppFabric:
                 [(ids[i], next(queues[ids[i]])) for i in issue_order]
             )
 
-        transport = (
-            resolve_executor(self.executor, len(lanes)) == "fork"
-        )
-        tasks = [
-            self._lane_task(lane, schedule, transport)
-            for lane, schedule in zip(lanes, schedules)
-        ]
-        payloads = run_tasks(tasks, self.executor)
-        if transport:
-            for lane, payload in zip(lanes, payloads):
-                for a, snapshot in payload["snapshots"].items():
-                    lane.pipelines[a].restore_state(snapshot)
+        if self.pool is not None:
+            payloads = self._run_lanes_pooled(lanes, schedules)
+        else:
+            transport = (
+                resolve_executor(self.executor, len(lanes)) == "fork"
+            )
+            tasks = [
+                self._lane_task(lane, schedule, transport)
+                for lane, schedule in zip(lanes, schedules)
+            ]
+            payloads = run_tasks(tasks, self.executor)
+            if transport:
+                for lane, payload in zip(lanes, payloads):
+                    for a, snapshot in payload["snapshots"].items():
+                        lane.pipelines[a].restore_state(snapshot)
 
         # Modeled drain: lanes run concurrently; each lane completes its
         # last issued packet one tail latency after its final issue slot.
@@ -551,6 +605,75 @@ class MultiAppFabric:
         assignments = ordered.shard_assignments(n_lanes, slots)
         return ordered.partition(assignments, n_lanes)
 
+    def _run_lanes_pooled(self, lanes, schedules) -> list[dict]:
+        """Every lane's schedule through the warm pool, chunk-pipelined.
+
+        Each scheduled ``(app, chunk)`` slot becomes one pipe request, so
+        the pool ships slot ``k+1`` while the lane scores ``k``; per-chunk
+        deltas keep this process's lane pipelines (and their shared
+        blocks) current, which is where the drain/reconfiguration
+        accounting below reads from.  Payloads match :meth:`_lane_task`'s
+        schema (minus ``snapshots`` — delta transport already happened).
+        """
+        want_delta = self.pool.transport
+        before = [
+            (
+                lane.block._next_issue_cycle,
+                lane.block.reconfigurations,
+                lane.block.reconfig_cycles,
+            )
+            for lane in lanes
+        ]
+        streams = []
+        for lane, schedule in zip(lanes, schedules):
+            requests = (
+                ("app_chunk", (a, chunk, want_delta)) for a, chunk in schedule
+            )
+            streams.append((requests, len(schedule)))
+        try:
+            responses = self.pool.map_streams(streams)
+        except RuntimeError:
+            # Keep this process's lanes consistent with the workers after
+            # a failed run (some chunks may have executed worker-side
+            # whose deltas were never applied here).
+            self._resync_from_pool(lanes)
+            raise
+        payloads: list[dict] = []
+        for s, lane in enumerate(lanes):
+            pieces: dict[int, list[TracePipelineResult]] = {
+                a: [] for a in lane.pipelines
+            }
+            for a, result, delta in responses[s]:
+                if delta is not None:
+                    lane.pipelines[a].apply_state_delta(delta)
+                pieces[a].append(result)
+            start_cycle, start_reconfigs, start_reconfig_cycles = before[s]
+            payloads.append(
+                {
+                    "results": {
+                        a: concat_results(parts) for a, parts in pieces.items()
+                    },
+                    "busy_cycles": lane.block._next_issue_cycle - start_cycle,
+                    "tail_latency_cycles": lane.block.design.latency_cycles,
+                    "tail_ii": lane.block.design.initiation_interval,
+                    "reconfigurations": lane.block.reconfigurations
+                    - start_reconfigs,
+                    "reconfig_cycles": lane.block.reconfig_cycles
+                    - start_reconfig_cycles,
+                }
+            )
+        return payloads
+
+    def _resync_from_pool(self, lanes) -> None:
+        """Restore this process's lane pipelines from worker snapshots
+        (best effort — after a failed run the workers are the truth)."""
+        snapshots = self.pool.pull_snapshots()
+        if snapshots is None:
+            return
+        for lane, per_app in zip(lanes, snapshots):
+            for app_index, snapshot in per_app.items():
+                lane.pipelines[app_index].restore_state(snapshot)
+
     def _lane_task(self, lane: _Lane, schedule, transport: bool):
         chunk_size = self.chunk_size
 
@@ -570,7 +693,7 @@ class MultiAppFabric:
                 )
             return {
                 "results": {
-                    a: _concat_results(parts) for a, parts in pieces.items()
+                    a: concat_results(parts) for a, parts in pieces.items()
                 },
                 "busy_cycles": block._next_issue_cycle - start_cycle,
                 "tail_latency_cycles": block.design.latency_cycles,
@@ -655,30 +778,3 @@ class MultiAppFabric:
         state.pop("block_packets")
         state.pop("block_issue_cycles")
         return state
-
-
-def _concat_results(
-    chunks: list[TracePipelineResult],
-) -> TracePipelineResult:
-    """Consecutive chunk results of one (app, lane) part, as one result.
-
-    Chunks arrive time-sorted (each is a slice of the part's sorted
-    columns), so every chunk's internal order is the identity and plain
-    concatenation reproduces what one ``process_trace_batch`` call over
-    the whole part returns.
-    """
-    if not chunks:
-        return empty_trace_result()
-    n = sum(len(c) for c in chunks)
-    return TracePipelineResult(
-        order=np.arange(n, dtype=np.int64),
-        times=np.concatenate([c.times for c in chunks]),
-        decisions=np.concatenate([c.decisions for c in chunks]),
-        ml_scores=np.concatenate([c.ml_scores for c in chunks]),
-        latencies_ns=np.concatenate([c.latencies_ns for c in chunks]),
-        bypassed=np.concatenate([c.bypassed for c in chunks]),
-        aggregates={
-            key: np.concatenate([c.aggregates[key] for c in chunks])
-            for key in chunks[0].aggregates
-        },
-    )

@@ -115,16 +115,26 @@ class prefetch(Iterator[T]):
         return self
 
     def __next__(self) -> T:
-        if self._finished:
-            raise StopIteration
-        item = self._buffer.get()
-        if item is _DONE:
-            self._shutdown()
-            raise StopIteration
-        if isinstance(item, _Failure):
-            self._shutdown()
-            raise item.exc
-        return item
+        # Poll rather than park: a racing close() from another thread
+        # sets the stop flag and *drains the buffer*, so an untimed
+        # ``get()`` here would strand this consumer forever on a queue
+        # nothing will ever fill again.
+        while True:
+            if self._finished:
+                raise StopIteration
+            try:
+                item = self._buffer.get(timeout=0.05)
+            except queue.Empty:
+                if self._stop.is_set():
+                    raise StopIteration from None
+                continue
+            if item is _DONE:
+                self._shutdown()
+                raise StopIteration
+            if isinstance(item, _Failure):
+                self._shutdown()
+                raise item.exc
+            return item
 
     def close(self) -> None:
         """Stop the producer promptly and release the worker thread.

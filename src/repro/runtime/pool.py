@@ -1,0 +1,663 @@
+"""Persistent shard worker pools with pipelined chunk dispatch.
+
+The sharded runtime's ``fork`` executor pays a full fork-and-teardown per
+``run()`` call — fine at trace scale, but it swamps small/interactive
+traces and rules out a long-lived serving substrate.  :class:`ShardPool`
+is that substrate: ``N`` **pre-forked** (or thread-backed) workers, each
+holding a long-lived pipeline (or fabric lane) inherited copy-on-write at
+spawn time, served over a framed request/response pipe protocol
+(:class:`~repro.runtime.executors.ForkWorker`).
+
+Instead of one monolithic task per run, a run is dispatched as
+**pipelined chunks**: each worker has a dedicated writer thread pumping
+requests from a :func:`~repro.runtime.overlap.prefetch`-staged stream, so
+chunk ``k+1`` is being sliced *and shipped down the pipe* while the
+worker scores chunk ``k`` — the double-buffering seam extended across the
+process boundary.  Responses stream back per chunk and carry incremental
+state deltas (:meth:`~repro.pisa.TaurusPipeline.state_delta`), so the
+parent's pipelines track the workers chunk by chunk and per-message cost
+stays bounded by the chunk itself, not the register file.
+
+Lifecycle: the pool is a context manager; ``close()`` is deterministic
+(EOF-then-reap with a bounded SIGKILL fallback, so an abandoned mid-trace
+run cannot hang shutdown); a crashed worker is detected via the framed
+protocol's EOF, reported with its exit status, and **replaced** by a
+fresh fork from the parent's current state.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import sys
+import threading
+from typing import Iterable, Iterator, Sequence
+
+from ..pisa.pipeline import TaurusPipeline
+from .executors import (
+    ERROR_REQUEST,
+    ForkWorker,
+    WorkerCrash,
+    WorkerDispatchError,
+)
+from .overlap import prefetch
+
+__all__ = [
+    "POOL_MODES",
+    "ShardPool",
+    "PipelineShardWorker",
+    "LaneWorker",
+    "pool_mode_for_executor",
+    "resolve_pool_mode",
+]
+
+#: Accepted values for the ``mode`` knob.
+POOL_MODES = ("auto", "fork", "thread")
+
+#: Sentinel asking a slot's writer/worker thread to exit.
+_SHUTDOWN = object()
+
+
+def resolve_pool_mode(mode: str) -> str:
+    """Map a pool-mode request to the concrete strategy for this host."""
+    if mode not in POOL_MODES:
+        raise ValueError(f"unknown pool mode {mode!r}; pick one of {POOL_MODES}")
+    if mode == "thread" or not hasattr(os, "fork"):
+        return "thread"
+    return "fork"
+
+
+def pool_mode_for_executor(executor: str) -> str:
+    """The pool mode a runtime ``executor`` knob implies.
+
+    ``fork`` stays cross-process, ``thread``/``serial`` stay in-process,
+    and anything else (``auto``) resolves per host — the one rule shared
+    by every surface that grows a ``pool=True`` path.
+    """
+    if executor == "fork":
+        return "fork"
+    if executor in ("thread", "serial"):
+        return "thread"
+    return "auto"
+
+
+# ----------------------------------------------------------------------
+# Worker contexts (what lives inside each worker, across runs)
+# ----------------------------------------------------------------------
+class PipelineShardWorker:
+    """One shard's long-lived pipeline plus its delta-tracking base.
+
+    The ``handle()`` side of the pool protocol for the sharded runtime:
+
+    * ``("chunk", (columns, want_delta))`` — one pre-sorted chunk through
+      :meth:`~repro.pisa.TaurusPipeline.process_trace_batch`; returns
+      ``(result, delta-or-None)``.
+    * ``("score", features)`` — a read-only pass through the block's
+      graph interpreter (no issue-clock accounting), the pool twin of
+      ``TaurusDataPlane._score_chunks``.
+    * ``("restore", snapshot)`` / ``("snapshot", None)`` — full state
+      transport for arbitrary reset and verification;
+    * ``("mark", None)`` / ``("rewind", None)`` — zero-payload per-run
+      reset: ``mark`` pins the current state *inside* the worker and
+      ``rewind`` restores it, so a pool owner wanting fresh-run
+      semantics doesn't ship the register file down the pipe every run.
+      Marks set on the context **before** spawning are inherited by the
+      forked workers (and by crash replacements, which re-fork from the
+      parent's context).
+    """
+
+    def __init__(self, pipeline: TaurusPipeline):
+        self.pipeline = pipeline
+        self._base: dict | None = None
+        self._mark: dict | None = None
+
+    def handle(self, kind: str, payload):
+        if kind == "chunk":
+            columns, want_delta = payload
+            if want_delta and self._base is None:
+                self._base = self.pipeline.state_snapshot()
+            result = self.pipeline.process_trace_batch(
+                columns, chunk_size=max(columns.n, 1)
+            )
+            delta = (
+                self.pipeline.state_delta(self._base) if want_delta else None
+            )
+            return result, delta
+        if kind == "score":
+            return self.pipeline.block.graph.execute_batch(payload)[:, 0]
+        if kind == "restore":
+            self.pipeline.restore_state(payload)
+            self._base = None
+            return True
+        if kind == "mark":
+            self._mark = self.pipeline.state_snapshot()
+            return True
+        if kind == "rewind":
+            if self._mark is None:
+                raise RuntimeError("rewind without a mark")
+            self.pipeline.restore_state(self._mark)
+            self._base = None
+            return True
+        if kind == "snapshot":
+            return self.pipeline.state_snapshot()
+        if kind == "ping":
+            return "pong"
+        raise ValueError(f"unknown request kind {kind!r}")
+
+
+class LaneWorker:
+    """One fabric lane (shared block + per-app pipelines) behind the pool.
+
+    ``("app_chunk", (app_index, columns, want_delta))`` steers the lane's
+    shared block to the app's program (via the pipeline's pinned
+    ``program``) and scores one chunk; per-app delta bases keep state
+    shipping incremental, exactly as :class:`PipelineShardWorker` does
+    for homogeneous shards.
+    """
+
+    def __init__(self, pipelines: dict[int, TaurusPipeline]):
+        self.pipelines = pipelines
+        self._bases: dict[int, dict] = {}
+        self._marks: dict[int, dict] | None = None
+
+    def handle(self, kind: str, payload):
+        if kind == "app_chunk":
+            app_index, columns, want_delta = payload
+            pipe = self.pipelines[app_index]
+            if want_delta and app_index not in self._bases:
+                self._bases[app_index] = pipe.state_snapshot()
+            result = pipe.process_trace_batch(
+                columns, chunk_size=max(columns.n, 1)
+            )
+            delta = (
+                pipe.state_delta(self._bases[app_index])
+                if want_delta
+                else None
+            )
+            return app_index, result, delta
+        if kind == "restore":
+            for app_index, snapshot in payload.items():
+                self.pipelines[app_index].restore_state(snapshot)
+            self._bases.clear()
+            return True
+        if kind == "mark":
+            self._marks = {
+                a: pipe.state_snapshot() for a, pipe in self.pipelines.items()
+            }
+            return True
+        if kind == "rewind":
+            if self._marks is None:
+                raise RuntimeError("rewind without a mark")
+            for app_index, snapshot in self._marks.items():
+                self.pipelines[app_index].restore_state(snapshot)
+            self._bases.clear()
+            return True
+        if kind == "snapshot":
+            return {
+                a: pipe.state_snapshot() for a, pipe in self.pipelines.items()
+            }
+        if kind == "ping":
+            return "pong"
+        raise ValueError(f"unknown request kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Worker slots (one per shard; fork- or thread-backed)
+# ----------------------------------------------------------------------
+class _ForkSlot:
+    """A :class:`ForkWorker` plus its dedicated writer thread.
+
+    The writer pumps request streams into the pipe so the dispatching
+    thread never blocks on a full pipe — without it, a parent stuck in
+    ``write`` (big chunk) and a child stuck in ``write`` (big response)
+    would deadlock.  Responses are read by the pool's collectors.
+    """
+
+    def __init__(self, context, extra_close_fds: Sequence[int]):
+        self.context = context
+        self.worker = ForkWorker(context, extra_close_fds=extra_close_fds)
+        self._requests: queue.Queue = queue.Queue()
+        self._closing = False
+        self._writer = threading.Thread(
+            target=self._pump, name=f"pool-writer-{self.worker.pid}",
+            daemon=True,
+        )
+        self._writer.start()
+
+    @property
+    def pid(self) -> int | None:
+        return self.worker.pid
+
+    @property
+    def alive(self) -> bool:
+        return self.worker.alive
+
+    def _pump(self) -> None:
+        while True:
+            item = self._requests.get()
+            if item is _SHUTDOWN:
+                return
+            stream = item
+            try:
+                for kind, payload in stream:
+                    if self._closing:
+                        break
+                    self.worker.send(kind, payload)
+            except WorkerCrash:
+                pass  # the collector sees the EOF and reports it
+            except BaseException as exc:
+                # The stream's iterator raised, or a payload would not
+                # pickle.  A collector is (or will be) blocked on the
+                # response pipe, so the failure must travel *through the
+                # worker*: echo it back as an abort response.  Nothing
+                # was sent after the error, so the conversation stays in
+                # sync and the worker stays usable.
+                try:
+                    self.worker.send(
+                        ERROR_REQUEST, f"{type(exc).__name__}: {exc}"
+                    )
+                except WorkerCrash:
+                    pass
+            finally:
+                close = getattr(stream, "close", None)
+                if close is not None:
+                    try:
+                        close()
+                    except Exception:
+                        pass
+
+    def submit(self, stream: Iterable[tuple[str, object]]) -> None:
+        """Queue a request stream for the writer (returns immediately)."""
+        self._requests.put(stream)
+
+    def recv(self):
+        return self.worker.recv()
+
+    def close(self, timeout: float) -> None:
+        self._closing = True
+        self._requests.put(_SHUTDOWN)
+        self._writer.join(timeout)
+        if self._writer.is_alive():
+            # Writer is wedged in a pipe write (child mid-chunk, buffer
+            # full).  Killing the child EPIPEs the write and frees it.
+            self.worker.reap(0.0)
+            self._writer.join(timeout)
+        self.worker.close(timeout)
+
+
+class _ThreadSlot:
+    """A persistent worker thread operating on the parent's own context.
+
+    The in-process twin of :class:`_ForkSlot`: same submit/recv surface,
+    no pickling, no state transport — the context's mutations land
+    directly in the parent's pipelines.
+    """
+
+    pid = None
+
+    def __init__(self, context, index: int):
+        self.context = context
+        self._requests: queue.Queue = queue.Queue()
+        self._responses: queue.Queue = queue.Queue()
+        self._closing = False
+        self._worker = threading.Thread(
+            target=self._run, name=f"pool-thread-{index}", daemon=True
+        )
+        self._worker.start()
+
+    @property
+    def alive(self) -> bool:
+        return self._worker.is_alive()
+
+    def _run(self) -> None:
+        while True:
+            item = self._requests.get()
+            if item is _SHUTDOWN:
+                return
+            try:
+                for kind, payload in item:
+                    if self._closing:
+                        # A collector may be waiting on the undelivered
+                        # remainder of this stream; wake it with an abort
+                        # (the fork path's EOF → WorkerCrash equivalent).
+                        self._responses.put(("abort", "pool closed"))
+                        break
+                    try:
+                        self._responses.put(
+                            (True, self.context.handle(kind, payload))
+                        )
+                    except BaseException as exc:
+                        self._responses.put(
+                            (False, f"{type(exc).__name__}: {exc}")
+                        )
+            except BaseException as exc:
+                # The stream's iterator raised: surface it as an abort so
+                # the collector unblocks, and keep the slot serving.
+                self._responses.put(
+                    ("abort", f"{type(exc).__name__}: {exc}")
+                )
+
+    def submit(self, stream: Iterable[tuple[str, object]]) -> None:
+        self._requests.put(stream)
+
+    def recv(self):
+        status, payload = self._responses.get()
+        if status == "abort":
+            raise WorkerDispatchError(f"dispatch failed: {payload}")
+        if not status:
+            raise RuntimeError(f"pool worker failed: {payload}")
+        return payload
+
+    def close(self, timeout: float) -> None:
+        self._closing = True
+        self._requests.put(_SHUTDOWN)
+        self._worker.join(timeout)
+
+
+# ----------------------------------------------------------------------
+# The pool
+# ----------------------------------------------------------------------
+class ShardPool:
+    """``N`` persistent shard workers behind a chunk-dispatch protocol.
+
+    Parameters
+    ----------
+    contexts:
+        One worker context per shard (:class:`PipelineShardWorker`,
+        :class:`LaneWorker`, or anything exposing
+        ``handle(kind, payload)``).  Fork workers inherit their context
+        copy-on-write at spawn; thread workers share it with the parent.
+    mode:
+        ``auto`` (fork where available) | ``fork`` | ``thread``.
+    window:
+        Staging depth of the per-worker dispatch stream (2 = classic
+        double buffering: chunk ``k+1`` ships while ``k`` scores).
+    close_timeout:
+        Per-worker bound on graceful shutdown before SIGKILL.
+    """
+
+    def __init__(
+        self,
+        contexts: Sequence,
+        mode: str = "auto",
+        window: int = 2,
+        close_timeout: float = 5.0,
+    ):
+        if not contexts:
+            raise ValueError("a pool needs at least one worker context")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.mode = resolve_pool_mode(mode)
+        self.window = window
+        self.close_timeout = close_timeout
+        self.contexts = list(contexts)
+        self._closed = False
+        self._lock = threading.Lock()
+        self._active_streams: list = []
+        # Spawn sequentially into the live slot list so every child can
+        # close its inherited copies of the earlier siblings' pipe fds —
+        # otherwise a sibling's dup of a request-write end would keep
+        # that worker from ever seeing EOF at close().
+        self._slots: list = []
+        for i in range(len(self.contexts)):
+            self._slots.append(self._spawn(i))
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def shards(self) -> int:
+        return len(self.contexts)
+
+    @property
+    def transport(self) -> bool:
+        """True when worker state must ship back explicitly (fork mode)."""
+        return self.mode == "fork"
+
+    @property
+    def worker_pids(self) -> list[int | None]:
+        return [slot.pid for slot in self._slots]
+
+    def alive(self) -> list[bool]:
+        return [slot.alive for slot in self._slots]
+
+    def _spawn(self, index: int):
+        if self.mode == "thread":
+            return _ThreadSlot(self.contexts[index], index)
+        sibling_fds: list[int] = []
+        for slot in self._slots:
+            if isinstance(slot, _ForkSlot) and slot.alive:
+                sibling_fds.extend(slot.worker.parent_fds)
+        return _ForkSlot(self.contexts[index], extra_close_fds=sibling_fds)
+
+    def restart(self, index: int) -> None:
+        """Replace worker ``index`` with a fresh spawn from the parent's
+        current context (fork mode re-inherits the parent's pipeline
+        state, so a replaced worker resumes consistent with the parent).
+        A closed pool only reaps — no fresh worker to leak."""
+        self._slots[index].close(self.close_timeout)
+        if not self._closed:
+            self._slots[index] = self._spawn(index)
+
+    def close(self) -> None:
+        """Deterministic shutdown, safe under an abandoned mid-trace run.
+
+        Stops staging (closes live prefetch streams so writers unpark),
+        EOFs every request pipe, and reaps each child with a bounded
+        SIGKILL fallback — no GC reliance, no unbounded joins.
+        Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        if sys.is_finalizing():
+            # Interpreter shutdown froze the daemon writer threads, which
+            # may hold pipe-buffer locks — joining or closing their
+            # streams would deadlock.  OS-level teardown only.
+            for slot in self._slots:
+                if slot.pid is not None:
+                    try:
+                        os.kill(slot.pid, signal.SIGKILL)
+                        os.waitpid(slot.pid, os.WNOHANG)
+                    except (OSError, ChildProcessError):
+                        pass
+            return
+        with self._lock:
+            streams, self._active_streams = self._active_streams, []
+        for stream in streams:
+            try:
+                stream.close()
+            except Exception:
+                pass
+        for slot in self._slots:
+            slot.close(self.close_timeout)
+
+    def __enter__(self) -> "ShardPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("pool is closed")
+
+    def submit(self, index: int, kind: str, payload=None) -> None:
+        """Queue one request for worker ``index`` (non-blocking)."""
+        self._check_open()
+        self._slots[index].submit([(kind, payload)])
+
+    def collect(self, index: int):
+        """The next response from worker ``index`` (blocking, in order)."""
+        return self._slots[index].recv()
+
+    def broadcast(self, kind: str, payloads=None) -> list:
+        """One request per worker; returns the per-worker responses.
+
+        ``payloads`` is either one payload per worker or a single shared
+        payload (including None).  Failures follow :meth:`map_streams`'s
+        contract: every healthy worker still drains, crashed workers are
+        replaced, and one ``RuntimeError`` reports the lot.
+        """
+        self._check_open()
+        if isinstance(payloads, (list, tuple)) and len(payloads) == self.shards:
+            per_worker = list(payloads)
+        else:
+            per_worker = [payloads] * self.shards
+        for index, payload in enumerate(per_worker):
+            self.submit(index, kind, payload)
+        results, errors = self._drain_all(
+            [(index, 1) for index in range(self.shards)]
+        )
+        self._heal_and_raise(errors)
+        return [results[index][0] for index in range(self.shards)]
+
+    def _drain_all(
+        self, live: Sequence[tuple[int, int]]
+    ) -> tuple[dict[int, list], dict[int, BaseException]]:
+        """Collect ``count`` responses per live worker, concurrently.
+
+        Every worker is drained to its expected count even when another
+        fails, so the conversation never desyncs: an in-band handler
+        failure records the error but keeps draining; only a dead worker
+        (whose pipe has nothing left to drain) aborts its collector.
+        """
+        results: dict[int, list] = {index: [] for index, __ in live}
+        errors: dict[int, BaseException] = {}
+
+        def drain(index: int, count: int) -> None:
+            slot = self._slots[index]
+            for __ in range(count):
+                try:
+                    results[index].append(slot.recv())
+                except (WorkerCrash, WorkerDispatchError) as exc:
+                    # Nothing more will arrive from this worker: the
+                    # child died, or the dispatch stream stopped short.
+                    errors[index] = exc
+                    return
+                except BaseException as exc:
+                    errors.setdefault(index, exc)
+
+        collectors = [
+            threading.Thread(
+                target=drain, args=(index, count), name=f"pool-collect-{index}"
+            )
+            for index, count in live
+        ]
+        for thread in collectors:
+            thread.start()
+        for thread in collectors:
+            thread.join()
+        return results, errors
+
+    # ------------------------------------------------------------------
+    # State consistency (shared by every pool=True surface)
+    # ------------------------------------------------------------------
+    def rewind(self) -> None:
+        """Rewind parent contexts and workers to their pristine marks.
+
+        Fork workers rewind their own inherited snapshots; this process's
+        contexts rewind locally via the same handler, so nothing but the
+        request itself crosses the pipes.  In thread mode the broadcast
+        alone covers both (contexts are shared).
+        """
+        if self.transport:
+            for context in self.contexts:
+                context.handle("rewind", None)
+        self.broadcast("rewind")
+
+    def pull_snapshots(self) -> list | None:
+        """Best-effort worker snapshots for post-failure resync.
+
+        After a failed run the workers are the truth (they may have
+        executed chunks whose deltas were never applied parent-side).
+        Returns None in thread mode (no transport, nothing can drift) or
+        when the workers are unreachable — the caller's original error
+        should still propagate either way.
+        """
+        if not self.transport:
+            return None
+        try:
+            return self.broadcast("snapshot")
+        except Exception:
+            return None
+
+    def _heal_and_raise(self, errors: dict[int, BaseException]) -> None:
+        """Replace crashed workers, then raise one aggregated report."""
+        if not errors:
+            return
+        details = []
+        for index in sorted(errors):
+            exc = errors[index]
+            if isinstance(exc, WorkerCrash):
+                self.restart(index)
+                details.append(f"{exc} [worker replaced]")
+            else:
+                details.append(str(exc))
+        raise RuntimeError("shard pool run failed: " + "; ".join(details))
+
+    def map_streams(
+        self,
+        streams: Sequence[tuple[Iterator[tuple[str, object]], int] | None],
+    ) -> list[list]:
+        """Pipelined dispatch of one request stream per worker.
+
+        ``streams[i]`` is ``(iterator of (kind, payload), expected
+        response count)`` — or None/``(_, 0)`` for an idle worker.  In
+        fork mode each stream is staged through :func:`prefetch` (depth =
+        ``window``) and pumped by the worker's writer thread, so staging,
+        shipping, and scoring overlap per worker and workers run
+        concurrently.  Responses return per worker **in request order**.
+
+        A crashed worker fails the run: every healthy worker still
+        drains, the dead one is replaced (fresh fork from the parent's
+        current context), and a ``RuntimeError`` naming pid and exit
+        status raises.
+        """
+        self._check_open()
+        if len(streams) != self.shards:
+            raise ValueError(
+                f"got {len(streams)} streams for {self.shards} workers"
+            )
+        live: list[tuple[int, int]] = []  # (worker index, expected count)
+        staged: list = []
+        for index, entry in enumerate(streams):
+            if entry is None:
+                continue
+            stream, count = entry
+            if count <= 0:
+                continue
+            if self.mode == "fork":
+                stream = prefetch(stream, depth=self.window)
+                with self._lock:
+                    if self._closed:
+                        # close() won the race; don't leave a producer
+                        # thread staging into an untracked stream.
+                        stream.close()
+                        raise RuntimeError("pool is closed")
+                    self._active_streams.append(stream)
+                staged.append(stream)
+            self._slots[index].submit(stream)
+            live.append((index, count))
+
+        results, errors = self._drain_all(live)
+        for stream in staged:
+            stream.close()
+            with self._lock:
+                if stream in self._active_streams:
+                    self._active_streams.remove(stream)
+        self._heal_and_raise(errors)
+        return [
+            results.get(index, []) for index in range(self.shards)
+        ]

@@ -46,10 +46,12 @@ from ..pisa.pipeline import (
     TracePipelineResult,
 )
 from .executors import resolve_executor, run_tasks
+from .pool import PipelineShardWorker, ShardPool, pool_mode_for_executor
 
 __all__ = [
     "ShardedRuntime",
     "as_trace_columns",
+    "concat_results",
     "empty_trace_result",
     "scatter_merge",
     "merge_pipeline_state",
@@ -128,6 +130,32 @@ def scatter_merge(
         latencies_ns=latencies[order],
         bypassed=bypassed[order],
         aggregates={key: values[order] for key, values in aggregates.items()},
+    )
+
+
+def concat_results(chunks: list[TracePipelineResult]) -> TracePipelineResult:
+    """Consecutive chunk results of one time-sorted part, as one result.
+
+    Chunks arrive time-sorted (each is a slice of the part's sorted
+    columns), so every chunk's internal order is the identity and plain
+    concatenation reproduces what one ``process_trace_batch`` call over
+    the whole part returns.  Shared by the multi-app fabric's per-lane
+    scheduler and the shard pool's chunked dispatch.
+    """
+    if not chunks:
+        return empty_trace_result()
+    n = sum(len(c) for c in chunks)
+    return TracePipelineResult(
+        order=np.arange(n, dtype=np.int64),
+        times=np.concatenate([c.times for c in chunks]),
+        decisions=np.concatenate([c.decisions for c in chunks]),
+        ml_scores=np.concatenate([c.ml_scores for c in chunks]),
+        latencies_ns=np.concatenate([c.latencies_ns for c in chunks]),
+        bypassed=np.concatenate([c.bypassed for c in chunks]),
+        aggregates={
+            key: np.concatenate([c.aggregates[key] for c in chunks])
+            for key in chunks[0].aggregates
+        },
     )
 
 
@@ -218,6 +246,16 @@ class ShardedRuntime:
         :mod:`repro.runtime.executors`).
     chunk_size:
         Default packets-per-chunk for each shard's vectorized loop.
+    pool:
+        Persistent-worker path.  ``False`` (default) keeps the
+        task-per-run executors; ``True`` builds a
+        :class:`~repro.runtime.pool.ShardPool` whose mode follows
+        ``executor`` (``fork`` stays cross-process, ``thread``/``serial``
+        stay in-process); a mode string (``"auto"``/``"fork"``/
+        ``"thread"``) picks explicitly.  Pool runs dispatch pipelined
+        chunks to long-lived workers instead of forking per call — same
+        merged results, no per-run setup.  Close the runtime (context
+        manager or :meth:`close`) when a pool is attached.
     """
 
     def __init__(
@@ -226,6 +264,7 @@ class ShardedRuntime:
         shards: int = 2,
         executor: str = "auto",
         chunk_size: int = DEFAULT_TRACE_CHUNK,
+        pool: bool | str = False,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -248,6 +287,58 @@ class ShardedRuntime:
         #: shards of latency + (B_s - 1) * II on that shard's block).
         self.last_drain_ns = 0.0
         self._last_turn = 0
+        self.pool: ShardPool | None = None
+        if pool:
+            mode = (
+                pool
+                if isinstance(pool, str)
+                else pool_mode_for_executor(self.executor)
+            )
+            contexts = [PipelineShardWorker(pipe) for pipe in self.pipelines]
+            # Mark the pristine post-build state *before* spawning, so
+            # every worker (and every crash replacement) inherits the
+            # rewind point and per-run resets ship zero payload.
+            for context in contexts:
+                context.handle("mark", None)
+            self.pool = ShardPool(contexts, mode=mode)
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the attached worker pool down (no-op without one)."""
+        if self.pool is not None:
+            self.pool.close()
+
+    def __enter__(self) -> "ShardedRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def reset_state(self, snapshots: list[dict]) -> None:
+        """Restore every shard pipeline (and its pool worker) to
+        ``snapshots`` — one :meth:`TaurusPipeline.state_snapshot` per
+        shard.  This is how a pool owner gets fresh-run semantics from
+        warm workers: snapshot once, restore before each run."""
+        if len(snapshots) != self.shards:
+            raise ValueError(
+                f"got {len(snapshots)} snapshots for {self.shards} shards"
+            )
+        for pipe, snapshot in zip(self.pipelines, snapshots):
+            pipe.restore_state(snapshot)
+        if self.pool is not None and self.pool.transport:
+            self.pool.broadcast("restore", snapshots)
+        self._last_turn = self.pipelines[0].arbiter._turn
+
+    def rewind_state(self) -> None:
+        """Rewind every shard (parent and pool workers) to the pristine
+        post-build mark — the zero-payload twin of :meth:`reset_state`
+        (see :meth:`ShardPool.rewind`)."""
+        if self.pool is None:
+            raise RuntimeError("rewind_state requires a pool")
+        self.pool.rewind()
+        self._last_turn = self.pipelines[0].arbiter._turn
 
     # ------------------------------------------------------------------
     # Trace execution
@@ -271,6 +362,8 @@ class ShardedRuntime:
         if columns.n == 0:
             self.last_drain_ns = 0.0
             return empty_trace_result()
+        if self.pool is not None:
+            return self._process_trace_pooled(trace, columns, chunk)
         if self.shards == 1:
             # Zero-overhead degenerate case: no partition, no merge.
             pipe = self.pipelines[0]
@@ -302,6 +395,90 @@ class ShardedRuntime:
                 pipe.restore_state(snapshot)
         self.last_drain_ns = self._drain_ns(before)
         return self._merge(columns, parts, [result for result, __ in outcomes])
+
+    # ------------------------------------------------------------------
+    # Pooled execution (persistent workers, pipelined chunks)
+    # ------------------------------------------------------------------
+    def _process_trace_pooled(
+        self, trace, columns: TraceColumns, chunk: int
+    ) -> TracePipelineResult:
+        """The trace through the warm worker pool, chunk-pipelined.
+
+        Each shard's part is pre-sorted by arrival time (exactly the sort
+        ``process_trace_batch`` would apply) and sliced into chunks; the
+        pool stages and ships chunk ``k+1`` while the worker scores ``k``.
+        Per-chunk responses carry incremental state deltas in fork mode,
+        so this process's pipelines end the run exactly where the workers
+        did — results and merged state are bit/stat-identical to the
+        task-per-run path.
+        """
+        if self.shards == 1:
+            # No partition/merge, but still chunk-pipelined to the worker.
+            parts = [(np.arange(columns.n, dtype=np.int64), columns)]
+        else:
+            parts = self._partition(trace, columns)
+        before = self._busy_cycles()
+        want_delta = self.pool.transport
+
+        sorted_parts: list[tuple[np.ndarray, TraceColumns]] = []
+        streams = []
+        for indices, sub in parts:
+            order = np.argsort(sub.times, kind="stable")
+            if not np.array_equal(order, np.arange(sub.n)):
+                indices, sub = indices[order], sub.take(order)
+            sorted_parts.append((indices, sub))
+            n_chunks = -(-sub.n // chunk) if sub.n else 0
+            streams.append((self._chunk_requests(sub, chunk, want_delta), n_chunks))
+
+        try:
+            responses = self.pool.map_streams(streams)
+        except RuntimeError:
+            # A failed run may have applied some worker chunks but not
+            # their deltas here; pull full snapshots so this process's
+            # pipelines stay consistent with the (surviving/replaced)
+            # workers instead of silently drifting on the next run.
+            self._resync_from_pool()
+            raise
+        results: list[TracePipelineResult] = []
+        for shard, shard_responses in enumerate(responses):
+            pieces = []
+            for result, delta in shard_responses:
+                if delta is not None:
+                    self.pipelines[shard].apply_state_delta(delta)
+                pieces.append(result)
+            results.append(concat_results(pieces))
+        self.last_drain_ns = self._drain_ns(before)
+        if self.shards == 1:
+            self._last_turn = self.pipelines[0].arbiter._turn
+            result = results[0]
+            # Re-expose the caller-order mapping, exactly as one
+            # ``process_trace_batch`` call over the unsorted trace does.
+            return TracePipelineResult(
+                order=sorted_parts[0][0],
+                times=result.times,
+                decisions=result.decisions,
+                ml_scores=result.ml_scores,
+                latencies_ns=result.latencies_ns,
+                bypassed=result.bypassed,
+                aggregates=result.aggregates,
+            )
+        return self._merge(columns, sorted_parts, results)
+
+    @staticmethod
+    def _chunk_requests(sub: TraceColumns, chunk: int, want_delta: bool):
+        """Lazy chunk slicing — consumed by the pool's prefetch stage."""
+        for start in range(0, sub.n, chunk):
+            sliced = sub.slice(slice(start, min(start + chunk, sub.n)))
+            yield ("chunk", (sliced, want_delta))
+
+    def _resync_from_pool(self) -> None:
+        """Restore this process's pipelines from the workers' snapshots
+        (best effort — after a failed run the workers are the truth)."""
+        snapshots = self.pool.pull_snapshots()
+        if snapshots is None:
+            return
+        for pipe, snapshot in zip(self.pipelines, snapshots):
+            pipe.restore_state(snapshot)
 
     # ------------------------------------------------------------------
     # Partitioning

@@ -113,6 +113,15 @@ class TaurusDataPlane:
     executor:
         Worker strategy for ``shards > 1``:
         ``auto`` | ``serial`` | ``thread`` | ``fork``.
+    pool:
+        Keep a **persistent worker pool** warm across calls
+        (:class:`~repro.runtime.ShardPool`).  ``run``, ``run_switch``,
+        ``run_multi``, and ``verify_equivalence`` then reuse long-lived
+        pre-forked workers with pipelined chunk dispatch instead of
+        forking-and-tearing-down per call; per-run state restore keeps
+        every result bit/stat-identical to the fork-per-run path.  Use
+        the data plane as a context manager (or call :meth:`close`) to
+        shut pools down deterministically.
     """
 
     def __init__(
@@ -122,6 +131,7 @@ class TaurusDataPlane:
         shards: int = 1,
         overlap: bool = True,
         executor: str = "auto",
+        pool: bool = False,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -130,6 +140,9 @@ class TaurusDataPlane:
         self.shards = shards
         self.overlap = overlap
         self.executor = executor
+        self.pool = bool(pool)
+        self._pool_runtime: ShardedRuntime | None = None
+        self._pool_fabrics: dict[tuple, MultiAppFabric] = {}
         self.block = MapReduceBlock(dnn_graph(quantized, name="anomaly_dnn"))
         # Exact-activation lowering: bit-identical to the quantized model,
         # used for trace-scale scoring and the equivalence check.
@@ -164,6 +177,42 @@ class TaurusDataPlane:
             ]
         return self._shard_blocks
 
+    # ------------------------------------------------------------------
+    # Persistent pool plumbing
+    # ------------------------------------------------------------------
+    def _pooled_runtime(self) -> ShardedRuntime:
+        """The warm sharded runtime behind ``pool=True`` (built once).
+
+        The pristine post-build pipeline state is marked inside every
+        worker at spawn and rewound before each run, so warm-pool runs
+        keep :meth:`run_switch`'s fresh-pipelines-per-call semantics
+        without shipping register files down the pipes.
+        """
+        if self._pool_runtime is None:
+            blocks = self._exact_shard_blocks()
+            self._pool_runtime = ShardedRuntime(
+                lambda shard: self.build_pipeline(block=blocks[shard]),
+                shards=self.shards,
+                executor=self.executor,
+                pool=True,
+            )
+        return self._pool_runtime
+
+    def close(self) -> None:
+        """Shut down every persistent pool this data plane spawned."""
+        if self._pool_runtime is not None:
+            self._pool_runtime.close()
+            self._pool_runtime = None
+        for fabric in self._pool_fabrics.values():
+            fabric.close()
+        self._pool_fabrics.clear()
+
+    def __enter__(self) -> "TaurusDataPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def _stream_scores(
         self, feats: np.ndarray, chunk_size: int = DEFAULT_CHUNK_SIZE
     ) -> np.ndarray:
@@ -172,10 +221,14 @@ class TaurusDataPlane:
         Scoring is stateless per row, so ``shards > 1`` splits the matrix
         into contiguous row blocks — one per shard block — and evaluates
         them on the executor; results concatenate back in order,
-        bit-identical to the serial pass.
+        bit-identical to the serial pass.  With ``pool=True`` the row
+        blocks stream chunk-by-chunk to the warm workers instead (scoring
+        is read-only, so no state restore is needed).
         """
         if chunk_size <= 0:
             raise ValueError("chunk_size must be positive")
+        if self.pool and len(feats) > chunk_size:
+            return self._stream_scores_pooled(feats, chunk_size)
         if self.shards > 1 and len(feats) > chunk_size:
             blocks = self._exact_shard_blocks()
             bounds = np.linspace(0, len(feats), num=len(blocks) + 1, dtype=np.int64)
@@ -189,6 +242,35 @@ class TaurusDataPlane:
             ]
             return np.concatenate(run_tasks(tasks, self.executor))
         return self._score_chunks(self.exact_block.graph, feats, chunk_size)
+
+    def _stream_scores_pooled(
+        self, feats: np.ndarray, chunk_size: int
+    ) -> np.ndarray:
+        """The scoring pass through the warm pool, chunk-pipelined.
+
+        Same contiguous row-block split per worker as the task path (so
+        scores concatenate back bit-identically), but each block ships as
+        a stream of ``score`` requests: chunk ``k+1`` crosses the pipe
+        while the worker's graph interpreter runs chunk ``k``.
+        """
+        runtime = self._pooled_runtime()
+        bounds = np.linspace(
+            0, len(feats), num=runtime.shards + 1, dtype=np.int64
+        )
+
+        def score_requests(lo: int, hi: int):
+            for start in range(lo, hi, chunk_size):
+                yield ("score", feats[start : min(start + chunk_size, hi)])
+
+        streams = []
+        for lo, hi in zip(bounds[:-1], bounds[1:]):
+            lo, hi = int(lo), int(hi)
+            n_chunks = -(-(hi - lo) // chunk_size) if hi > lo else 0
+            streams.append((score_requests(lo, hi), n_chunks))
+        responses = runtime.pool.map_streams(streams)
+        return np.concatenate(
+            [np.concatenate(parts) for parts in responses if parts]
+        )
 
     def _score_chunks(
         self, graph, feats: np.ndarray, chunk_size: int
@@ -275,9 +357,16 @@ class TaurusDataPlane:
         ``shards > 1`` the trace is partitioned flow-consistently across
         the shard workers and merged bit-identically (the modeled
         parallel drain of the run lands in
-        :attr:`last_modeled_drain_ns`).
+        :attr:`last_modeled_drain_ns`).  With ``pool=True`` the warm
+        worker pool serves the run instead: workers are restored to the
+        pristine baseline first, so repeated calls still see identical
+        register state — without paying a fork-and-teardown per call.
         """
-        runtime = self.build_runtime()
+        if self.pool:
+            runtime = self._pooled_runtime()
+            runtime.rewind_state()
+        else:
+            runtime = self.build_runtime()
         outcome = runtime.process_trace(trace, chunk_size=chunk_size)
         self.last_modeled_drain_ns = runtime.last_drain_ns
         return self.detection_from_outcome(trace, outcome)
@@ -320,16 +409,46 @@ class TaurusDataPlane:
         drain concurrently.  Per-app merged results are bit/stat-identical
         to running each app alone on its own trace slice; the modeled
         drain (including reconfiguration + interleave costs) lands in
-        :attr:`last_modeled_drain_ns`.
+        :attr:`last_modeled_drain_ns`.  With ``pool=True`` the fabric
+        (lanes, compiled programs, *and* its lane workers) is cached per
+        app set and reset to pristine state per call, so repeated
+        multi-app runs skip both recompilation and per-run forking.
         """
-        fabric = MultiAppFabric(
-            apps,
-            shards=self.shards,
-            executor=self.executor,
-            chunk_size=chunk_size,
-            policy=policy,
-        )
-        outcome = fabric.run(traces)
+        if self.pool:
+            # Cache per app-name set so a serving loop that rebuilds its
+            # FabricApp objects each call cannot accumulate one worker
+            # pool per call; a name set served by *different* app objects
+            # evicts (and closes) the stale fabric rather than silently
+            # reusing the old programs.
+            key = tuple(app.name for app in apps)
+            fabric = self._pool_fabrics.get(key)
+            if fabric is not None and any(
+                cached is not app for cached, app in zip(fabric.apps, apps)
+            ):
+                fabric.close()
+                fabric = None
+            if fabric is None:
+                fabric = MultiAppFabric(
+                    apps,
+                    shards=self.shards,
+                    executor=self.executor,
+                    chunk_size=chunk_size,
+                    policy=policy,
+                    pool=True,
+                )
+                self._pool_fabrics[key] = fabric
+            else:
+                fabric.reset_state()
+            outcome = fabric.run(traces, policy=policy, chunk_size=chunk_size)
+        else:
+            fabric = MultiAppFabric(
+                apps,
+                shards=self.shards,
+                executor=self.executor,
+                chunk_size=chunk_size,
+                policy=policy,
+            )
+            outcome = fabric.run(traces)
         self.last_modeled_drain_ns = outcome.drain_ns
         self.last_fabric = fabric
         return outcome

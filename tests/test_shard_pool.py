@@ -1,0 +1,371 @@
+"""Lifecycle + identity tests for the persistent shard worker pool.
+
+:class:`~repro.runtime.ShardPool` keeps pre-forked (or thread-backed)
+workers warm across runs and dispatches pipelined chunks instead of one
+task per run.  These tests pin the contract down:
+
+* repeated runs on one pool are **bit/stat-identical** to the
+  fork-per-run oracle (and to the single-pipeline oracle), including
+  per-chunk incremental state-delta transport;
+* a killed worker is detected, reported with its exit status, and
+  replaced by a fresh fork;
+* pool close is deterministic — bounded, idempotent, and safe under an
+  abandoned mid-trace run;
+* the ``pool=True`` surfaces on :class:`TaurusDataPlane`
+  (``run`` / ``run_switch`` / ``run_multi`` / ``verify_equivalence``)
+  match their fork-per-run twins call for call.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro.hw import MapReduceBlock
+from repro.mapreduce import dnn_graph
+from repro.runtime import ShardPool, ShardedRuntime, WorkerCrash
+
+from test_shard_runtime import (
+    MAX_SHARDS,
+    _assert_equivalent,
+    _oracle,
+    _pipeline,
+    _random_columns,
+    _reset,
+)
+
+HAS_FORK = hasattr(os, "fork")
+POOL_MODES = ["thread"] + (["fork"] if HAS_FORK else [])
+
+
+@pytest.fixture(scope="module")
+def blocks(quantized_dnn):
+    """Oracle block + one per shard, all identically configured."""
+    return [
+        MapReduceBlock(dnn_graph(quantized_dnn)) for _ in range(MAX_SHARDS + 1)
+    ]
+
+
+def _pooled_runtime(blocks, shards, slots, tables, mode):
+    for block in blocks[1 : shards + 1]:
+        _reset(block)
+    return ShardedRuntime(
+        lambda i: _pipeline(blocks[i + 1], slots, tables),
+        shards=shards,
+        executor="serial",
+        pool=mode,
+    )
+
+
+class _Sleeper:
+    """A worker context whose chunks take arbitrarily long (for close
+    determinism under an abandoned run)."""
+
+    def handle(self, kind, payload):
+        if kind == "sleep":
+            time.sleep(payload)
+        return "done"
+
+
+class TestPoolIdentity:
+    @pytest.mark.parametrize("mode", POOL_MODES)
+    @pytest.mark.parametrize("shards", [1, 2, 4])
+    def test_pool_matches_oracle(self, blocks, shards, mode):
+        """One pooled run == the single-pipeline oracle, every observable."""
+        columns = _random_columns(seed=31, n=150)
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(blocks, shards, slots=16, tables=True, mode=mode)
+        with runtime:
+            _assert_equivalent(oracle, runtime, columns)
+
+    @pytest.mark.parametrize("mode", POOL_MODES)
+    def test_repeated_runs_match_fork_per_run(self, blocks, mode):
+        """Warm workers across back-to-back runs == fresh forks per run.
+
+        The fork-per-run oracle (the PR-3 executor path) accumulates
+        pipeline state across runs; warm pool workers must accumulate
+        the same state chunk-delta by chunk-delta.
+        """
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(blocks, 2, slots=16, tables=True, mode=mode)
+        with runtime:
+            for seed in (32, 33, 34):
+                _assert_equivalent(
+                    oracle, runtime, _random_columns(seed, 90), chunk_size=16
+                )
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork pool needs POSIX")
+    def test_reset_state_gives_fresh_run_semantics(self, blocks):
+        """snapshot/restore per run == rebuilding pipelines per run."""
+        runtime = _pooled_runtime(blocks, 2, slots=16, tables=True, mode="fork")
+        with runtime:
+            baseline = [pipe.state_snapshot() for pipe in runtime.pipelines]
+            columns = _random_columns(seed=35, n=80)
+            first = runtime.process_trace(columns, chunk_size=16)
+            runtime.reset_state(baseline)
+            second = runtime.process_trace(columns, chunk_size=16)
+            assert np.array_equal(first.decisions, second.decisions)
+            assert np.array_equal(
+                first.ml_scores, second.ml_scores, equal_nan=True
+            )
+            state = runtime.merged_state()
+            # Two identical fresh runs, not one accumulated double run.
+            assert state["parser_packets"] == columns.n
+
+
+class TestPoolLifecycle:
+    @pytest.mark.skipif(not HAS_FORK, reason="fork pool needs POSIX")
+    def test_killed_worker_detected_reported_replaced(self, blocks):
+        """SIGKILLing a worker fails the run with its exit status in the
+        report, and the pool replaces it with a fresh fork."""
+        runtime = _pooled_runtime(blocks, 2, slots=16, tables=False, mode="fork")
+        with runtime:
+            baseline = [pipe.state_snapshot() for pipe in runtime.pipelines]
+            victim = runtime.pool.worker_pids[0]
+            os.kill(victim, signal.SIGKILL)
+            with pytest.raises(RuntimeError, match="exit status -9"):
+                runtime.process_trace(_random_columns(36, 60), chunk_size=16)
+            assert runtime.pool.worker_pids[0] != victim
+            assert runtime.pool.alive() == [True, True]
+            # The replacement serves the next (reset) run correctly.
+            runtime.reset_state(baseline)
+            oracle = _oracle(blocks, 16, False)
+            _assert_equivalent(
+                oracle, runtime, _random_columns(37, 60), chunk_size=16
+            )
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork pool needs POSIX")
+    def test_worker_crash_carries_exit_status(self):
+        pool = ShardPool([_Sleeper()], mode="fork", close_timeout=0.5)
+        with pool:
+            os.kill(pool.worker_pids[0], signal.SIGKILL)
+            pool.submit(0, "sleep", 0.0)
+            with pytest.raises(WorkerCrash) as info:
+                pool.collect(0)
+            assert info.value.exit_status == -signal.SIGKILL
+            assert str(pool.worker_pids[0]) in str(info.value)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork pool needs POSIX")
+    def test_close_is_deterministic_under_abandoned_run(self):
+        """Requests in flight, responses never collected, workers stuck
+        mid-chunk: close() must still return within its bound and leave
+        no child behind."""
+        pool = ShardPool([_Sleeper(), _Sleeper()], mode="fork", close_timeout=0.5)
+        pids = list(pool.worker_pids)
+        pool.submit(0, "sleep", 30.0)
+        pool.submit(0, "sleep", 30.0)  # queued behind the first
+        pool.submit(1, "sleep", 30.0)
+        time.sleep(0.2)  # workers are now parked inside their chunks
+        t0 = time.perf_counter()
+        pool.close()
+        assert time.perf_counter() - t0 < 4.0
+        for pid in pids:
+            with pytest.raises(ProcessLookupError):
+                os.kill(pid, 0)  # reaped, not leaked
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            pool.submit(0, "sleep", 0.0)
+
+    @pytest.mark.parametrize("mode", POOL_MODES)
+    def test_dispatch_stream_failure_surfaces_not_hangs(self, mode):
+        """A request stream whose iterator raises mid-run must fail the
+        run promptly (echoed through the worker as an abort) instead of
+        stranding the collector on a response that will never come — and
+        the worker must stay usable."""
+
+        class Echo:
+            def handle(self, kind, payload):
+                return payload
+
+        def bad_stream():
+            yield ("echo", 1)
+            raise RuntimeError("staging blew up")
+
+        with ShardPool([Echo()], mode=mode) as pool:
+            with pytest.raises(RuntimeError, match="staging blew up"):
+                pool.map_streams([(bad_stream(), 3)])
+            assert pool.alive() == [True]
+            # The conversation stayed in sync: new runs still work.
+            assert pool.map_streams([(iter([("echo", 7)]), 1)]) == [[7]]
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork pool needs POSIX")
+    def test_failed_run_resyncs_parent_from_workers(self, blocks):
+        """A run that fails after some chunks executed worker-side must
+        not leave this process's pipelines behind the workers: the next
+        (successful) run still matches the oracle exactly."""
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(blocks, 2, slots=16, tables=True, mode="fork")
+        with runtime:
+            columns = _random_columns(seed=61, n=80)
+            # Poison one chunk payload so dispatch fails mid-run on one
+            # shard while other chunks have already executed.
+            real_requests = ShardedRuntime._chunk_requests
+
+            def poisoned(sub, chunk, want_delta):
+                for i, request in enumerate(real_requests(sub, chunk, want_delta)):
+                    if i == 1:
+                        raise RuntimeError("poisoned chunk")
+                    yield request
+
+            runtime._chunk_requests = poisoned
+            with pytest.raises(RuntimeError):
+                runtime.process_trace(columns, chunk_size=16)
+            runtime._chunk_requests = real_requests
+            # The invariant the resync maintains: this process's
+            # pipelines equal the workers', observable for observable,
+            # even though the failed run's deltas were discarded.
+            snapshots = runtime.pool.broadcast("snapshot")
+            for pipe, theirs in zip(runtime.pipelines, snapshots):
+                mine = pipe.state_snapshot()
+                assert mine["stats"] == theirs["stats"]
+                for name, values in theirs["registers"].items():
+                    assert np.array_equal(mine["registers"][name], values)
+                assert mine["parser_packets"] == theirs["parser_packets"]
+                assert mine["tables"] == theirs["tables"]
+                assert mine["block"] == theirs["block"]
+            # And after a rewind the pool serves a pristine run again.
+            runtime.rewind_state()
+            _assert_equivalent(oracle, runtime, columns, chunk_size=16)
+
+    @pytest.mark.skipif(not HAS_FORK, reason="fork pool needs POSIX")
+    def test_idle_multi_worker_close_is_fast_eof(self):
+        """Regression: initial workers inherited earlier siblings'
+        parent-side pipe fds, so closing worker 0's request pipe never
+        EOFed it while a later sibling lived — close() of a healthy idle
+        pool degraded to close_timeout + SIGKILL per worker."""
+        pool = ShardPool(
+            [_Sleeper(), _Sleeper(), _Sleeper()], mode="fork", close_timeout=5.0
+        )
+        assert pool.broadcast("ping") == ["done", "done", "done"]
+        t0 = time.perf_counter()
+        pool.close()
+        assert time.perf_counter() - t0 < 2.0, "EOF shutdown degraded to SIGKILL"
+        # Clean EOF exits, not signal deaths.
+        assert [slot.worker._exit_status for slot in pool._slots] == [0, 0, 0]
+
+    def test_thread_mode_close_unblocks_inflight_run(self):
+        """Regression: thread-mode close() mid-run broke the stream
+        without signalling, stranding the run's collector in an untimed
+        response-queue get forever."""
+        import threading
+
+        release = threading.Event()
+
+        class Slow:
+            def handle(self, kind, payload):
+                release.wait(5.0)
+                return payload
+
+        pool = ShardPool([Slow()], mode="thread", close_timeout=0.5)
+        outcome = {}
+
+        def run():
+            try:
+                outcome["result"] = pool.map_streams(
+                    [(iter([("echo", i) for i in range(4)]), 4)]
+                )
+            except RuntimeError as exc:
+                outcome["error"] = str(exc)
+
+        runner = threading.Thread(target=run, daemon=True)
+        runner.start()
+        time.sleep(0.2)  # the run is now in flight on the worker
+        pool.close()
+        release.set()  # let the in-flight chunk finish
+        runner.join(timeout=3.0)
+        assert not runner.is_alive(), "run stranded after close()"
+        assert "error" in outcome  # aborted, not silently short-delivered
+
+    @pytest.mark.parametrize("mode", POOL_MODES)
+    def test_worker_exception_is_in_band(self, mode):
+        """A handler exception fails the run but leaves the worker alive
+        and the conversation in sync."""
+
+        class Fragile:
+            def handle(self, kind, payload):
+                if kind == "boom":
+                    raise ValueError("chunk exploded")
+                return payload
+
+        with ShardPool([Fragile()], mode=mode) as pool:
+            with pytest.raises(RuntimeError, match="chunk exploded"):
+                pool.broadcast("boom")
+            assert pool.alive() == [True]
+            assert pool.broadcast("echo", [41]) == [41]
+
+    def test_pool_validation(self):
+        with pytest.raises(ValueError):
+            ShardPool([], mode="thread")
+        with pytest.raises(ValueError):
+            ShardPool([_Sleeper()], mode="hyperdrive")
+        with pytest.raises(ValueError):
+            ShardPool([_Sleeper()], mode="thread", window=0)
+
+
+class TestPooledDataPlane:
+    @pytest.fixture()
+    def small_trace(self, train_test_split):
+        from repro.datasets import expand_to_packets
+
+        __, test = train_test_split
+        return expand_to_packets(test, max_packets=400, seed=51)
+
+    def test_run_switch_repeated_matches_fork_per_run(
+        self, quantized_dnn, small_trace
+    ):
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        executor = "fork" if HAS_FORK else "thread"
+        plain = TaurusDataPlane(quantized_dnn, shards=2, executor=executor)
+        with TaurusDataPlane(
+            quantized_dnn, shards=2, executor=executor, pool=True
+        ) as pooled:
+            for __ in range(3):
+                expected = plain.run_switch(small_trace, chunk_size=64)
+                assert expected == pooled.run_switch(small_trace, chunk_size=64)
+                assert (
+                    plain.last_modeled_drain_ns == pooled.last_modeled_drain_ns
+                )
+
+    def test_run_and_verify_through_pool(self, quantized_dnn, small_trace):
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        plain = TaurusDataPlane(quantized_dnn, shards=2)
+        with TaurusDataPlane(quantized_dnn, shards=2, pool=True) as pooled:
+            assert plain.run(small_trace, chunk_size=32) == pooled.run(
+                small_trace, chunk_size=32
+            )
+            assert pooled.verify_equivalence(small_trace, chunk_size=32)
+
+    def test_run_multi_reuses_and_resets_the_fabric(
+        self, quantized_dnn, small_trace
+    ):
+        from repro.testbed.dataplane import TaurusDataPlane
+
+        plain = TaurusDataPlane(quantized_dnn, shards=2)
+        with TaurusDataPlane(quantized_dnn, shards=2, pool=True) as pooled:
+            apps = [pooled.anomaly_app(), pooled.anomaly_app(name="anomaly2")]
+            traces = [small_trace, small_trace]
+            expected = plain.run_multi(apps, traces, chunk_size=64)
+            first = pooled.run_multi(apps, traces, chunk_size=64)
+            assert pooled.last_fabric is not None
+            fabric = pooled.last_fabric
+            second = pooled.run_multi(apps, traces, chunk_size=64)
+            assert pooled.last_fabric is fabric  # cached, not rebuilt
+            for outcome in (first, second):
+                for name in expected.results:
+                    assert np.array_equal(
+                        expected.results[name].decisions,
+                        outcome.results[name].decisions,
+                    )
+                    assert np.array_equal(
+                        expected.results[name].ml_scores,
+                        outcome.results[name].ml_scores,
+                        equal_nan=True,
+                    )
+                assert outcome.drain_ns == expected.drain_ns
+                assert outcome.reconfigurations == expected.reconfigurations

@@ -13,6 +13,7 @@ TCP/UDP mixes, register-collision traces, and all executor strategies.
 from __future__ import annotations
 
 import os
+import sys
 
 import numpy as np
 import pytest
@@ -504,6 +505,99 @@ class TestRuntimePrimitives:
     def test_prefetch_validates_depth(self):
         with pytest.raises(ValueError):
             next(prefetch(iter([1]), depth=0))
+
+    def test_prefetch_close_race_unblocks_consumer(self):
+        """Regression: ``__next__`` used an untimed ``buffer.get()``, so a
+        racing ``close()`` from another thread (which drains the buffer)
+        stranded a consumer already parked in ``get`` forever.  The
+        consumer must observe the stop flag and finish as exhausted."""
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def source():
+            yield 1
+            release.wait(5.0)  # stall so the buffer stays empty
+            yield 2
+
+        staged = prefetch(source(), depth=2, join_timeout=0.2)
+        assert next(staged) == 1
+        outcome = {}
+
+        def consume():
+            try:
+                next(staged)
+                outcome["value"] = "item"
+            except StopIteration:
+                outcome["value"] = "stopped"
+
+        consumer = threading.Thread(target=consume, daemon=True)
+        consumer.start()
+        time.sleep(0.15)  # the consumer is now blocked in __next__
+        staged.close()
+        consumer.join(timeout=2.0)
+        release.set()
+        assert not consumer.is_alive(), "consumer stranded after close()"
+        assert outcome["value"] == "stopped"
+
+    def test_thread_executor_caps_workers_at_host_cpus(self, monkeypatch):
+        """Regression: ``run_tasks`` spawned ``len(tasks)`` threads no
+        matter the host, oversubscribing small machines on wide runs."""
+        from repro.runtime import executors
+
+        captured = {}
+        real_pool = executors.ThreadPoolExecutor
+
+        class SpyPool(real_pool):
+            def __init__(self, max_workers=None, **kwargs):
+                captured["max_workers"] = max_workers
+                super().__init__(max_workers=max_workers, **kwargs)
+
+        monkeypatch.setattr(executors, "ThreadPoolExecutor", SpyPool)
+        monkeypatch.setattr(executors, "available_parallelism", lambda: 3)
+        out = run_tasks([lambda i=i: i for i in range(16)], "thread")
+        assert out == list(range(16))
+        assert captured["max_workers"] == 3
+        # Fewer tasks than CPUs still sizes to the tasks.
+        captured.clear()
+        run_tasks([lambda: 1, lambda: 2], "thread")
+        assert captured["max_workers"] == 2
+
+    @pytest.mark.skipif(
+        not sys.platform.startswith("linux"),
+        reason="counts fds via /proc (Linux) and needs fork",
+    )
+    def test_fork_failure_closes_pipes_and_reaps_children(self, monkeypatch):
+        """Regression: a mid-loop ``os.fork`` failure (e.g. EAGAIN) leaked
+        the just-created pipe pair and left earlier children unreaped."""
+        import errno
+
+        real_fork = os.fork
+        calls = {"n": 0}
+        spawned: list[int] = []
+
+        def flaky_fork():
+            calls["n"] += 1
+            if calls["n"] == 2:
+                raise OSError(errno.EAGAIN, "Resource temporarily unavailable")
+            pid = real_fork()
+            if pid:
+                spawned.append(pid)
+            return pid
+
+        open_fds = lambda: len(os.listdir("/proc/self/fd"))
+        before = open_fds()
+        monkeypatch.setattr(os, "fork", flaky_fork)
+        with pytest.raises(OSError, match="unavailable"):
+            run_tasks([lambda: 1, lambda: 2], "fork")
+        monkeypatch.setattr(os, "fork", real_fork)
+        assert open_fds() == before, "fork failure leaked pipe fds"
+        # The first (successfully spawned) child was reaped, not stranded.
+        assert spawned
+        for pid in spawned:
+            with pytest.raises(ChildProcessError):
+                os.waitpid(pid, os.WNOHANG)
 
     @pytest.mark.parametrize(
         "mode", ["serial", "thread"] + (["fork"] if HAS_FORK else [])
