@@ -6,7 +6,6 @@ SVM 83 ns, 0.6 mm^2, 395 mW; DNN 221 ns, 1.0 mm^2, 647 mW; LSTM 805 ns,
 3.0 mm^2, 1897 mW; grid 4.8 mm^2 (+3.8%), +2.8% power.
 """
 
-import numpy as np
 import pytest
 
 from repro.compiler import compile_graph

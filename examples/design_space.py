@@ -7,7 +7,6 @@ process that led the paper to the 16-lane, 4-stage, fix8 CU.
 Run:  python examples/design_space.py
 """
 
-import numpy as np
 
 from repro.compiler import compile_graph
 from repro.core import render_table

@@ -32,6 +32,20 @@ def main() -> None:
     print(f"  area       : {design.area_mm2:.2f} mm^2 (paper: 1.0 mm^2)")
     print(f"  throughput : {design.throughput_gpkt_s:.1f} GPkt/s (line rate)")
 
+    # 3b. Static verification: the same graph the fabric runs, checked
+    #     before deployment — widths, structure, fixed-point discipline,
+    #     and CU/MU budgets (`python -m repro.analysis` runs this over
+    #     everything the repo ships).  Info findings are known costs;
+    #     warnings/errors would fail CI's lint gate.
+    from repro.analysis import verify_graph, worst_severity
+    from repro.core import TaurusConfig
+
+    diags = verify_graph(detector.block.graph, config=TaurusConfig())
+    worst = worst_severity(diags)
+    print(f"static verification: {len(diags)} finding(s), worst: {worst}")
+    for diag in diags:
+        print(f"  {diag.format()}")
+
     # 4. Push real packets through the switch pipeline — the whole trace
     #    transits the batched PISA path (vectorized parse, flow registers,
     #    MATs, chunked MapReduce scoring) in one call.

@@ -1,0 +1,140 @@
+"""``python -m repro.analysis`` — the repo's static-analysis gate.
+
+Verifies every shipped dataflow graph (structure, shapes, execution
+probe, budgets against the default :class:`~repro.core.TaurusConfig`),
+the shipped multi-app fabric bundle, and fork-safety of the runtime
+sources.  Exit status is 0 when no finding of warning severity or above
+remains, 1 otherwise — which is exactly what CI's ``lint`` job checks.
+
+Usage::
+
+    python -m repro.analysis                  # the full shipped battery
+    python -m repro.analysis --list-checks    # the check catalog
+    python -m repro.analysis -v               # also print info findings
+    python -m repro.analysis --suppress ir-fixpoint-drift ...
+    python -m repro.analysis path/to/file.py  # fork-lint sources instead
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .diagnostics import CHECKS, Severity
+from .fork_lint import lint_paths
+from .ir_verify import verify_fabric, verify_graph
+
+
+def _runtime_dir() -> Path:
+    from .. import runtime
+
+    return Path(runtime.__file__).resolve().parent
+
+
+def _list_checks() -> None:
+    by_category: dict[str, list] = {}
+    for spec in CHECKS.values():
+        by_category.setdefault(spec.category, []).append(spec)
+    for category, specs in by_category.items():
+        print(f"{category}:")
+        for spec in specs:
+            print(f"  {spec.check_id:26s} {spec.severity!s:8s} {spec.summary}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Static verification of shipped dataflow programs "
+        "and fork-safety lint of runtime sources.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="Python files/directories to fork-lint instead of the "
+        "default shipped battery",
+    )
+    parser.add_argument(
+        "--suppress",
+        action="append",
+        default=[],
+        metavar="CHECK-ID",
+        help="drop findings with this check ID (repeatable)",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="also print info-severity findings (never gate-relevant)",
+    )
+    parser.add_argument(
+        "--no-probe",
+        action="store_true",
+        help="skip the execution probe (structure/budget checks only)",
+    )
+    parser.add_argument(
+        "--list-checks", action="store_true", help="print the check catalog"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_checks:
+        _list_checks()
+        return 0
+
+    unknown = [c for c in args.suppress if c not in CHECKS]
+    if unknown:
+        parser.error(f"unknown check ID(s): {', '.join(unknown)}")
+    suppress = set(args.suppress)
+
+    diags = []
+    if args.paths:
+        diags += lint_paths(args.paths)
+        diags = [d for d in diags if d.check_id not in suppress]
+    else:
+        from ..core import TaurusConfig
+        from .catalog import shipped_fabric, shipped_graphs
+
+        config = TaurusConfig()
+        print("verifying shipped graphs ...", flush=True)
+        for graph in shipped_graphs():
+            found = verify_graph(
+                graph,
+                config=config,
+                probe=not args.no_probe,
+                suppress=suppress,
+            )
+            diags += found
+            print(f"  {graph.name}: {_tally(found)}")
+        print("verifying fabric bundle ...", flush=True)
+        diags += verify_fabric(shipped_fabric(), config=config, suppress=suppress)
+        runtime = _runtime_dir()
+        print(f"fork-safety lint over {runtime} ...", flush=True)
+        diags += [
+            d
+            for d in lint_paths([runtime])
+            if d.check_id not in suppress
+        ]
+
+    gating = [d for d in diags if d.severity >= Severity.WARNING]
+    shown = diags if args.verbose else gating
+    for d in shown:
+        print(d.format())
+    print(
+        f"{len(diags)} finding(s): "
+        f"{sum(d.severity == Severity.ERROR for d in diags)} error, "
+        f"{sum(d.severity == Severity.WARNING for d in diags)} warning, "
+        f"{sum(d.severity == Severity.INFO for d in diags)} info"
+        + ("" if args.verbose or not diags else "  (use -v to see info)")
+    )
+    return 1 if gating else 0
+
+
+def _tally(diags) -> str:
+    if not diags:
+        return "clean"
+    worst = max(d.severity for d in diags)
+    return f"{len(diags)} finding(s), worst {worst}"
+
+
+if __name__ == "__main__":
+    sys.exit(main())

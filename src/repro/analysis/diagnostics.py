@@ -1,0 +1,178 @@
+"""Diagnostic records and the check catalog.
+
+Every analyzer finding is a :class:`Diagnostic`: a stable check ID (the
+catalog key in :data:`CHECKS`), a severity, a human-readable message, and
+provenance — the graph node or source line the finding anchors to.  IDs
+are stable across releases so findings can be suppressed surgically
+(``suppress={"ir-fixpoint-drift"}`` in code, ``--suppress`` on the CLI,
+``# noqa: rt-pipe-ownership`` in linted sources).
+
+Severity semantics
+------------------
+``error``
+    The program will raise, diverge, or silently corrupt results at
+    runtime (or ``compile_graph`` will refuse it).  Lowering-time
+    verification raises on these.
+``warning``
+    Suspect by construction — legal today, but the kind of thing that has
+    bitten us before.  The CI gate fails on warnings and errors.
+``info``
+    Advisory pricing/structure notes (fold factors, line-rate fractions,
+    swap costs).  Hidden unless asked for; never fails a gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Iterable
+
+__all__ = [
+    "CHECKS",
+    "CheckSpec",
+    "Diagnostic",
+    "Severity",
+    "worst_severity",
+]
+
+
+class Severity(IntEnum):
+    """Ordered so ``max()`` over findings yields the gate-relevant one."""
+
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class CheckSpec:
+    """One catalog entry: what a check ID means and how severe it is."""
+
+    check_id: str
+    severity: Severity
+    category: str  # "shape" | "structure" | "budget" | "fabric" | "fork-safety"
+    summary: str
+
+
+def _spec(check_id: str, severity: Severity, category: str, summary: str) -> CheckSpec:
+    return CheckSpec(check_id, severity, category, summary)
+
+
+#: The check catalog.  README's "Static analysis" section documents these;
+#: tests assert every entry has a triggering and a clean fixture.
+CHECKS: dict[str, CheckSpec] = {
+    spec.check_id: spec
+    for spec in [
+        # -- shape / dtype -------------------------------------------------
+        _spec("ir-width-mismatch", Severity.ERROR, "shape",
+              "a node's fan-in width disagrees with what its predecessors produce"),
+        _spec("ir-gather-width", Severity.ERROR, "shape",
+              "a gather's declared width is not the sum of its inputs"),
+        _spec("ir-no-semantics", Severity.ERROR, "shape",
+              "a compute node has neither fn/batch_fn nor a named reduce op"),
+        _spec("ir-non-2d", Severity.ERROR, "shape",
+              "a probed node value leaks out of the (B, width) 2-D contract"),
+        _spec("ir-probe-width", Severity.ERROR, "shape",
+              "a probed node value's width disagrees with the inferred width"),
+        _spec("ir-batch-divergence", Severity.ERROR, "shape",
+              "execute_batch and execute disagree bit-for-bit on a probe row"),
+        _spec("ir-fixpoint-drift", Severity.WARNING, "shape",
+              "graph outputs leave the fixed-point grid (raw float leakage)"),
+        _spec("ir-probe-failure", Severity.ERROR, "shape",
+              "the execution probe raised; the graph cannot run as built"),
+        # -- structure -----------------------------------------------------
+        _spec("ir-cycle", Severity.ERROR, "structure",
+              "the dataflow graph contains a cycle"),
+        _spec("ir-malformed-io", Severity.ERROR, "structure",
+              "input/const nodes with predecessors, or an output feeding onward"),
+        _spec("ir-no-output", Severity.ERROR, "structure",
+              "the graph has no output node; execute() would raise"),
+        _spec("ir-multi-output", Severity.WARNING, "structure",
+              "several output nodes; execute() returns only the last in topo order"),
+        _spec("ir-orphan", Severity.ERROR, "structure",
+              "a compute node has no predecessors to consume"),
+        _spec("ir-unreachable", Severity.WARNING, "structure",
+              "no input reaches this node; it computes from constants alone"),
+        _spec("ir-dead-node", Severity.WARNING, "structure",
+              "no path from this node to any output; its value is discarded"),
+        _spec("ir-state-collision", Severity.ERROR, "structure",
+              "two nodes write the same state key (or a reserved key)"),
+        _spec("ir-epilogue-order", Severity.ERROR, "structure",
+              "an epilogue node feeds a non-epilogue node"),
+        _spec("ir-epilogue-io", Severity.WARNING, "structure",
+              "an input/const node is marked epilogue"),
+        _spec("ir-epilogue-inert", Severity.INFO, "structure",
+              "epilogue markers with temporal_iterations == 1 are inert"),
+        _spec("ir-temporal-no-state", Severity.WARNING, "structure",
+              "temporal iterations without carried state recompute the same values"),
+        # -- budgets -------------------------------------------------------
+        _spec("budget-mu-overflow", Severity.ERROR, "budget",
+              "weight/LUT demand exceeds the grid's MUs; compile_graph raises"),
+        _spec("budget-cu-fold", Severity.INFO, "budget",
+              "CU demand exceeds the grid; the compiler folds, multiplying II"),
+        _spec("budget-line-rate", Severity.INFO, "budget",
+              "the design sustains only a fraction of line rate"),
+        _spec("budget-config-stream", Severity.INFO, "budget",
+              "the program's configuration stream makes swaps expensive"),
+        # -- multi-app fabric ----------------------------------------------
+        _spec("fabric-duplicate-app", Severity.ERROR, "fabric",
+              "two fabric apps share a name; results would alias"),
+        _spec("fabric-state-overlap", Severity.INFO, "fabric",
+              "two fabric apps persist the same state key (isolated per "
+              "app, but merged state dumps become ambiguous)"),
+        _spec("fabric-mu-residency", Severity.WARNING, "fabric",
+              "apps cannot co-reside in MUs; every swap re-streams weights"),
+        # -- runtime fork-safety -------------------------------------------
+        _spec("rt-fork-flush", Severity.ERROR, "fork-safety",
+              "os.fork() without flushing stdout/stderr first duplicates "
+              "buffered output into the child"),
+        _spec("rt-fork-child-exit", Severity.ERROR, "fork-safety",
+              "a forked child branch lacks os._exit(); it would unwind into "
+              "the parent's teardown (atexit, pytest)"),
+        _spec("rt-pipe-ownership", Severity.ERROR, "fork-safety",
+              "an os.pipe() fd is never closed or wrapped by os.fdopen in "
+              "its function; error paths leak it"),
+        _spec("rt-unbounded-close-join", Severity.WARNING, "fork-safety",
+              "a close/shutdown path joins a thread without a timeout"),
+        _spec("rt-fork-under-lock", Severity.ERROR, "fork-safety",
+              "os.fork() while holding a lock; the child inherits it held "
+              "forever"),
+    ]
+}
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One analyzer finding with provenance.
+
+    ``source`` is the graph name, fabric bundle name, or file path;
+    ``node``/``node_name`` locate IR findings, ``line`` locates source
+    findings.
+    """
+
+    check_id: str
+    severity: Severity
+    message: str
+    source: str
+    node: int | None = None
+    node_name: str | None = None
+    line: int | None = None
+
+    def format(self) -> str:
+        """``source[:line|:node]: severity: [check-id] message``."""
+        where = self.source
+        if self.line is not None:
+            where += f":{self.line}"
+        elif self.node is not None:
+            label = self.node_name or str(self.node)
+            where += f":{label}"
+        return f"{where}: {self.severity}: [{self.check_id}] {self.message}"
+
+
+def worst_severity(diagnostics: Iterable[Diagnostic]) -> Severity | None:
+    """The gate-relevant severity of a finding set (None when empty)."""
+    severities = [d.severity for d in diagnostics]
+    return max(severities) if severities else None

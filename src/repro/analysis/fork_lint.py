@@ -1,0 +1,251 @@
+"""AST-based fork-safety lint for the runtime sources.
+
+The sharded runtime forks workers, wires pipe pairs, and joins collector
+threads — each a pattern this repo has been bitten by before the current
+discipline was adopted.  This lint encodes that discipline so regressions
+are caught in CI rather than as hangs and leaked fds:
+
+``rt-fork-flush``
+    ``os.fork()`` duplicates the process *including* stdio buffers; any
+    buffered output is then written twice.  Every function that forks
+    must flush stdout/stderr first.
+``rt-fork-child-exit``
+    A forked child that falls off the end of its branch unwinds into the
+    parent's teardown (atexit handlers, pytest finalizers) — the child
+    must leave via ``os._exit``.
+``rt-pipe-ownership``
+    Every fd from ``os.pipe()`` must be closed (``os.close``) or have
+    its ownership transferred (``os.fdopen``) within the same function,
+    so error paths cannot leak it.
+``rt-unbounded-close-join``
+    ``Thread.join()`` without a timeout on a close/shutdown path turns a
+    stuck worker into a stuck interpreter exit.
+``rt-fork-under-lock``
+    Forking while holding a lock snapshots the lock *held* into the
+    child, which then deadlocks on first acquire.
+
+Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records with
+file/line provenance.  Suppress a finding by appending ``# noqa`` (all
+checks) or ``# noqa: rt-pipe-ownership`` (listed checks) to its line.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterable
+
+from .diagnostics import Diagnostic, Severity
+
+__all__ = ["lint_source", "lint_paths"]
+
+#: Function names considered teardown paths for the bounded-join check.
+CLOSE_PATH_NAMES = frozenset(
+    {"close", "stop", "shutdown", "terminate", "reap", "__exit__", "__del__"}
+)
+
+
+class _Aliases:
+    """Best-effort import resolution: local name -> canonical dotted name."""
+
+    def __init__(self, tree: ast.AST) -> None:
+        self.modules: dict[str, str] = {}
+        self.names: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    root = alias.name.split(".")[0]
+                    if alias.asname:
+                        self.modules[alias.asname] = alias.name
+                    else:
+                        self.modules[root] = root
+            elif isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    self.names[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+
+    def resolve(self, func: ast.expr) -> str | None:
+        """Canonical name of a call target (``os.fork``), or None."""
+        if isinstance(func, ast.Name):
+            return self.names.get(func.id)
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = self.modules.get(func.value.id)
+            if module is not None:
+                return f"{module}.{func.attr}"
+        return None
+
+
+def _function_body_nodes(fn: ast.AST) -> list[ast.AST]:
+    """Every AST node in ``fn``'s own body, excluding nested scopes."""
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue  # nested scopes are linted as their own functions
+        stack.extend(ast.iter_child_nodes(node))
+    return nodes
+
+
+def _terminal_name(expr: ast.expr) -> str | None:
+    if isinstance(expr, ast.Name):
+        return expr.id
+    if isinstance(expr, ast.Attribute):
+        return expr.attr
+    return None
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one Python source text; returns fork-safety findings."""
+    tree = ast.parse(source, filename=path)
+    aliases = _Aliases(tree)
+    lines = source.splitlines()
+    diags: list[Diagnostic] = []
+
+    def report(check: str, severity: Severity, msg: str, line: int) -> None:
+        if not _suppressed(lines, line, check):
+            diags.append(Diagnostic(check, severity, msg, path, line=line))
+
+    for fn in (
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ):
+        body = _function_body_nodes(fn)
+        calls = [n for n in body if isinstance(n, ast.Call)]
+        resolved = [(c, aliases.resolve(c.func)) for c in calls]
+
+        fork_calls = [c for c, name in resolved if name == "os.fork"]
+        if fork_calls:
+            _lint_fork(fn, body, calls, resolved, fork_calls, report)
+        _lint_pipes(body, resolved, report)
+        if fn.name in CLOSE_PATH_NAMES:
+            _lint_close_joins(fn, calls, report)
+    return diags
+
+
+def _lint_fork(fn, body, calls, resolved, fork_calls, report) -> None:
+    first_fork = min(c.lineno for c in fork_calls)
+    flush_lines = [
+        c.lineno
+        for c in calls
+        if isinstance(c.func, ast.Attribute) and c.func.attr == "flush"
+    ]
+    if not any(line < first_fork for line in flush_lines):
+        report(
+            "rt-fork-flush", Severity.ERROR,
+            f"{fn.name}() calls os.fork() without flushing stdout/stderr "
+            "first; buffered output is duplicated into the child",
+            first_fork,
+        )
+    if not any(name == "os._exit" for __, name in resolved):
+        report(
+            "rt-fork-child-exit", Severity.ERROR,
+            f"{fn.name}() forks but never calls os._exit(); a child that "
+            "returns unwinds into the parent's teardown (atexit, pytest)",
+            first_fork,
+        )
+    held_lock_lines = [
+        c.lineno
+        for c in calls
+        if isinstance(c.func, ast.Attribute) and c.func.attr == "acquire"
+    ] + [
+        item.context_expr.lineno
+        for node in body
+        if isinstance(node, ast.With)
+        for item in node.items
+        if "lock" in (_terminal_name(item.context_expr) or "").lower()
+    ]
+    if held_lock_lines:
+        report(
+            "rt-fork-under-lock", Severity.ERROR,
+            f"{fn.name}() forks in a function that acquires a lock "
+            f"(line {min(held_lock_lines)}); the child inherits the lock "
+            "held forever",
+            first_fork,
+        )
+
+
+def _lint_pipes(body, resolved, report) -> None:
+    owned: set[str] = set()
+    for call, name in resolved:
+        if name in ("os.close", "os.fdopen"):
+            for arg in call.args:
+                if isinstance(arg, ast.Name):
+                    owned.add(arg.id)
+    for node in body:
+        if not (
+            isinstance(node, ast.Assign)
+            and isinstance(node.value, ast.Call)
+        ):
+            continue
+        if next(
+            (n for c, n in resolved if c is node.value), None
+        ) != "os.pipe":
+            continue
+        target = node.targets[0]
+        fd_names = (
+            [e.id for e in target.elts if isinstance(e, ast.Name)]
+            if isinstance(target, (ast.Tuple, ast.List))
+            else []
+        )
+        leaked = [fd for fd in fd_names if fd not in owned]
+        if leaked:
+            report(
+                "rt-pipe-ownership", Severity.ERROR,
+                f"pipe fd(s) {leaked} never reach os.close/os.fdopen in "
+                "this function; an error path leaks them",
+                node.lineno,
+            )
+
+
+def _lint_close_joins(fn, calls, report) -> None:
+    for call in calls:
+        if (
+            isinstance(call.func, ast.Attribute)
+            and call.func.attr == "join"
+            and not call.args
+            and not call.keywords
+        ):
+            report(
+                "rt-unbounded-close-join", Severity.WARNING,
+                f"{fn.name}() joins a thread without a timeout on a "
+                "teardown path; a stuck worker hangs interpreter exit",
+                call.lineno,
+            )
+
+
+def _suppressed(lines: list[str], lineno: int, check: str) -> bool:
+    """``# noqa`` (all) or ``# noqa: id1, id2`` (listed) on the line."""
+    if not 1 <= lineno <= len(lines):
+        return False
+    line = lines[lineno - 1]
+    marker = line.find("# noqa")
+    if marker < 0:
+        return False
+    rest = line[marker + len("# noqa"):].strip()
+    if not rest.startswith(":"):
+        return True
+    listed = {item.strip() for item in rest[1:].split(",")}
+    return check in listed
+
+
+def lint_paths(paths: Iterable[str | Path]) -> list[Diagnostic]:
+    """Lint files and/or directories (recursing into ``*.py``)."""
+    files: list[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    diags: list[Diagnostic] = []
+    for file in files:
+        diags.extend(
+            lint_source(file.read_text(encoding="utf-8"), str(file))
+        )
+    return diags

@@ -20,7 +20,7 @@ from ..datasets import (
 )
 from ..fixpoint import QuantizedModel, quantize_model
 from ..hw.grid import MapReduceBlock
-from ..mapreduce import dnn_graph, svm_graph
+from ..mapreduce import dnn_graph
 from ..ml import RBFKernelSVM, anomaly_detection_dnn, f1_score, detection_rate
 from ..ml.dnn import DNN
 from ..pisa import TaurusPipeline, threshold_postprocess

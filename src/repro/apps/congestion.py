@@ -17,7 +17,6 @@ from ..datasets import (
     ACTIONS,
     CongestionTraceConfig,
     generate_congestion_traces,
-    oracle_action,
 )
 from ..hw.grid import MapReduceBlock
 from ..mapreduce import lstm_graph

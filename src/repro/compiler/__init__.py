@@ -7,11 +7,12 @@ from .allocate import (
     mu_capacity_values,
     node_cost,
 )
-from .pipeline import CompiledDesign, compile_graph, critical_path_cycles
+from .pipeline import BudgetError, CompiledDesign, compile_graph, critical_path_cycles
 from .place_route import GridSpec, Placement, place_and_route
 from .unroll import UnrollPoint, min_unroll_for_rate, unroll_sweep
 
 __all__ = [
+    "BudgetError",
     "GraphResources",
     "NodeCost",
     "graph_resources",

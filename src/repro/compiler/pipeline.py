@@ -34,7 +34,38 @@ from ..hw.power import cu_power_mw, mu_power_mw
 from ..mapreduce.ir import DataflowGraph
 from .allocate import GraphResources, graph_resources
 
-__all__ = ["CompiledDesign", "critical_path_cycles", "compile_graph"]
+__all__ = [
+    "BudgetError",
+    "CompiledDesign",
+    "critical_path_cycles",
+    "compile_graph",
+]
+
+
+class BudgetError(ValueError):
+    """A graph's resource demand exceeds the grid budget.
+
+    Raised by :func:`compile_graph` symmetrically for both resources —
+    always for MU overflow, and for CU overflow when folding is disabled.
+    The asymmetry in *default* behavior is physical, not accidental: CUs
+    are time-multiplexable (the compiler folds the graph, trading
+    initiation interval for area), while MU-resident weights must stay
+    loaded for every pass, so MU overflow has no fold to fall back on.
+
+    Attributes mirror the message so callers (and the static analyzer's
+    ``budget-*`` prechecks) can reason about the overflow without string
+    parsing.
+    """
+
+    def __init__(self, graph_name: str, resource: str, needed: int, budget: int, hint: str):
+        self.graph_name = graph_name
+        self.resource = resource
+        self.needed = needed
+        self.budget = budget
+        super().__init__(
+            f"{graph_name}: needs {needed} {resource}s but the grid has "
+            f"{budget}; {hint}"
+        )
 
 
 def _path_lengths(
@@ -119,25 +150,41 @@ def compile_graph(
     geometry: CUGeometry = DEFAULT_CU_GEOMETRY,
     cu_budget: int | None = None,
     mu_budget: int | None = None,
+    fold: bool = True,
 ) -> CompiledDesign:
     """Allocate, fold to fit, and time a dataflow graph.
 
     ``cu_budget``/``mu_budget`` default to unlimited (the Table 5 rows size
     the grid *after* compilation); pass the grid's capacity to model
     mapping onto a fixed 12x10 block.
+
+    Overflow handling is uniform: both budgets raise :class:`BudgetError`
+    when the graph cannot be mapped.  CU overflow *can* be absorbed by
+    time-multiplexing — with ``fold=True`` (the default) the compiler
+    folds the graph by ``ceil(n_cu / cu_budget)``, multiplying the
+    initiation interval; ``fold=False`` demands a spatial fit and raises
+    instead.  MU overflow always raises: weights must stay resident
+    across every folded pass, so there is no time/area trade to make
+    (Section 6: larger models need compression).
     """
     resources: GraphResources = graph_resources(graph, geometry)
     n_cu, n_mu = resources.n_cu, resources.n_mu
 
-    fold = 1
+    fold_factor = 1
     if cu_budget is not None and n_cu > cu_budget:
-        fold = math.ceil(n_cu / cu_budget)
-        n_cu = math.ceil(n_cu / fold)
+        if not fold:
+            raise BudgetError(
+                graph.name, "CU", n_cu, cu_budget,
+                "folding is disabled (fold=False), so the graph must fit "
+                "spatially",
+            )
+        fold_factor = math.ceil(n_cu / cu_budget)
+        n_cu = math.ceil(n_cu / fold_factor)
     if mu_budget is not None and n_mu > mu_budget:
-        raise ValueError(
-            f"{graph.name}: needs {n_mu} MUs but the grid has {mu_budget}; "
-            "model weights exceed on-chip memory (Section 6: larger models "
-            "need compression)"
+        raise BudgetError(
+            graph.name, "MU", n_mu, mu_budget,
+            "model weights exceed on-chip memory and cannot be "
+            "time-multiplexed (Section 6: larger models need compression)",
         )
 
     body, epilogue = _path_lengths(graph, geometry)
@@ -146,15 +193,15 @@ def compile_graph(
     # PHV boundary are paid once.  Folded passes refill the pipeline: one
     # extra issue slot per extra pass.
     latency = (
-        body * graph.temporal_iterations + epilogue + boundary + (fold - 1)
+        body * graph.temporal_iterations + epilogue + boundary + (fold_factor - 1)
     )
-    ii = graph.initiation_interval * fold * graph.temporal_iterations
+    ii = graph.initiation_interval * fold_factor * graph.temporal_iterations
     return CompiledDesign(
         name=graph.name,
         geometry=geometry,
         n_cu=n_cu,
         n_mu=n_mu,
-        fold_factor=fold,
+        fold_factor=fold_factor,
         initiation_interval=ii,
         latency_cycles=latency,
         temporal_iterations=graph.temporal_iterations,

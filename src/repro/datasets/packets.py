@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .nslkdd import ConnectionDataset, DNN_FEATURES, FEATURE_NAMES
+from .nslkdd import ConnectionDataset
 
 __all__ = [
     "PacketRecord",

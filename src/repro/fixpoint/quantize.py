@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from .formats import FIX8, FixedPointFormat
+from .formats import FixedPointFormat
 from .tensor import FixTensor
 
 __all__ = [

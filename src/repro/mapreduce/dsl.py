@@ -22,7 +22,7 @@ Example (a DNN layer, mirroring Fig. 4)::
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Iterable, Sequence
 
 import numpy as np

@@ -36,6 +36,29 @@ __all__ = [
     "conv1d_graph",
 ]
 
+def _verified(graph: DataflowGraph) -> DataflowGraph:
+    """Gate every lowering on the structural verifier before returning it.
+
+    Runs :func:`repro.analysis.verify_graph` in structural mode (no
+    execution probe, no budget pricing — both belong to the CLI/CI gate;
+    training loops re-lower after every weight update, so this must stay
+    O(nodes)) and raises on any error-severity finding.  Lazy import:
+    ``repro.analysis`` imports this module for its shipped-graph catalog.
+    """
+    from ..analysis import Severity, verify_graph
+
+    errors = [
+        d for d in verify_graph(graph, probe=False)
+        if d.severity >= Severity.ERROR
+    ]
+    if errors:
+        raise ValueError(
+            f"lowering produced an invalid graph:\n"
+            + "\n".join(d.format() for d in errors)
+        )
+    return graph
+
+
 #: Which line-rate implementation serves each model-level activation.
 #: ReLUs map exactly; smooth activations use the piecewise variants, the
 #: cheapest implementation with acceptable error (Table 6 discussion).
@@ -119,7 +142,7 @@ def dnn_graph(
             weight_values=spec.lut_tables * 1024,
         )
     graph.add("output", preds=[cursor], name="score", width=cursor.width)
-    return graph
+    return _verified(graph)
 
 
 def _single(batch_fn):
@@ -174,7 +197,7 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
     sv = in_fmt.roundtrip(svm.support_vectors)
     alphas = fmt.roundtrip(svm.alphas)
     gamma = svm.gamma
-    bias = svm.bias
+    bias = float(fmt.roundtrip(svm.bias))
     n_sv, dim = sv.shape
     # Squared distances live in the CU's wide accumulator (16-bit view).
     acc_fmt = format_for_range(np.array([(2 * np.abs(sv).max()) ** 2 * dim]), 16)
@@ -247,7 +270,7 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         batch_fn=bias_threshold,
     )
     graph.add("output", preds=[decision], name="score", width=1)
-    return graph
+    return _verified(graph)
 
 
 # ----------------------------------------------------------------------
@@ -300,7 +323,7 @@ def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> 
         batch_fn=argmin,
     )
     graph.add("output", preds=[nearest], name="cluster", width=1)
-    return graph
+    return _verified(graph)
 
 
 # ----------------------------------------------------------------------
@@ -441,7 +464,7 @@ def lstm_graph(
         epilogue=True,
     )
     graph.add("output", preds=[action], name="action", width=1, epilogue=True)
-    return graph
+    return _verified(graph)
 
 
 # ----------------------------------------------------------------------
@@ -472,7 +495,7 @@ def inner_product_graph(width: int = 16, fmt: FixedPointFormat = FIX8) -> Datafl
         batch_fn=dot_fn,
     )
     graph.add("output", preds=[dot], name="y", width=1)
-    return graph
+    return _verified(graph)
 
 
 def activation_graph(
@@ -520,7 +543,7 @@ def activation_graph(
             batch_fn=table_read,
         )
     graph.add("output", preds=[cursor], name="y", width=width)
-    return graph
+    return _verified(graph)
 
 
 def conv1d_graph(
@@ -588,4 +611,4 @@ def conv1d_graph(
         slices.append(accum)
     gathered = graph.add("gather", preds=slices, name="gather_out", width=unroll)
     graph.add("output", preds=[gathered], name="y", width=unroll)
-    return graph
+    return _verified(graph)

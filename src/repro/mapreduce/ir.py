@@ -250,7 +250,10 @@ class DataflowGraph:
     # Batched execution (a block of packets per pass)
     # ------------------------------------------------------------------
     def execute_batch(
-        self, features: np.ndarray, state: dict | None = None
+        self,
+        features: np.ndarray,
+        state: dict | None = None,
+        observer: Callable[[Node, np.ndarray, int], None] | None = None,
     ) -> np.ndarray:
         """Run the graph on a ``(B, D)`` block of feature vectors at once.
 
@@ -263,6 +266,11 @@ class DataflowGraph:
 
         Nodes without a ``batch_fn`` fall back to looping ``fn`` over rows
         (correct but slow); state-carrying nodes must provide ``batch_fn``.
+
+        ``observer(node, value, iteration)`` is called with every node's
+        stored value as it is computed — the hook ``repro.analysis``'s
+        execution probe uses to check the 2-D value contract and inferred
+        widths.  Observers must treat ``value`` as read-only.
         """
         features = np.array(features, dtype=np.float64)  # private copy
         if features.ndim != 2:
@@ -271,10 +279,16 @@ class DataflowGraph:
                 f"{features.shape}"
             )
         features.flags.writeable = False
-        return self._interpret(features, state, batch=features.shape[0])
+        return self._interpret(
+            features, state, batch=features.shape[0], observer=observer
+        )
 
     def _interpret(
-        self, features: np.ndarray, state: dict | None, batch: int | None
+        self,
+        features: np.ndarray,
+        state: dict | None,
+        batch: int | None,
+        observer: Callable[[Node, np.ndarray, int], None] | None = None,
     ) -> np.ndarray:
         """The shared interpreter core for both execution modes.
 
@@ -296,33 +310,37 @@ class DataflowGraph:
                 if node.epilogue and not last:
                     continue
                 if node.kind == "input":
-                    values[node.node_id] = features
-                    continue
-                if node.kind == "const":
-                    values[node.node_id] = empty
-                    continue
-                args = [
-                    values[p]
-                    for p in node.preds
-                    if self.nodes[p].kind != "const"
-                ]
-                if node.kind == "gather":
-                    values[node.node_id] = (
-                        np.concatenate([_as_batch_2d(a) for a in args], axis=1)
-                        if batched
-                        else np.concatenate([np.atleast_1d(a) for a in args])
-                    )
-                    continue
-                if node.kind == "output":
-                    out = args[0] if args else empty
-                    values[node.node_id] = out
-                    result = out
-                    continue
-                values[node.node_id] = (
-                    _as_batch_2d(_run_node_batched(node, args, state, batch))
-                    if batched
-                    else _run_node_scalar(node, args, state)
-                )
+                    value = features
+                elif node.kind == "const":
+                    value = empty
+                else:
+                    args = [
+                        values[p]
+                        for p in node.preds
+                        if self.nodes[p].kind != "const"
+                    ]
+                    if node.kind == "gather":
+                        value = (
+                            np.concatenate(
+                                [_as_batch_2d(a) for a in args], axis=1
+                            )
+                            if batched
+                            else np.concatenate([np.atleast_1d(a) for a in args])
+                        )
+                    elif node.kind == "output":
+                        value = args[0] if args else empty
+                        result = value
+                    else:
+                        value = (
+                            _as_batch_2d(
+                                _run_node_batched(node, args, state, batch)
+                            )
+                            if batched
+                            else _run_node_scalar(node, args, state)
+                        )
+                values[node.node_id] = value
+                if observer is not None:
+                    observer(node, value, iteration)
         if result is None:
             raise ValueError("graph has no output node")
         return _as_batch_2d(result) if batched else result

@@ -13,6 +13,7 @@ from .pipeline import (
     PipelineResult,
     TaurusPipeline,
     TracePipelineResult,
+    port_bypass,
     threshold_postprocess,
 )
 from .registers import FlowFeatureAccumulator, RegisterArray, fnv1a_columns
@@ -43,6 +44,7 @@ __all__ = [
     "PipelineResult",
     "TaurusPipeline",
     "TracePipelineResult",
+    "port_bypass",
     "threshold_postprocess",
     "FlowFeatureAccumulator",
     "RegisterArray",

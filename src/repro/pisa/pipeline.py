@@ -25,7 +25,7 @@ Two execution paths share these semantics:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Callable
 
 import numpy as np
 
@@ -47,6 +47,7 @@ __all__ = [
     "DECISION_DROP",
     "DECISION_FLAG",
     "DEFAULT_TRACE_CHUNK",
+    "port_bypass",
     "threshold_postprocess",
 ]
 
@@ -85,6 +86,32 @@ def threshold_postprocess(
 
     def batch(values: np.ndarray) -> np.ndarray:
         return np.where(values[:, 0] >= threshold, DECISION_FLAG, DECISION_FORWARD)
+
+    return scalar, batch
+
+
+def port_bypass(
+    ports, field: str = "dst_port"
+) -> tuple[Callable[["PHV"], bool], Callable[["PHVBatch"], np.ndarray]]:
+    """A matched (scalar, vectorized) bypass pair keyed on a header field.
+
+    Packets whose ``field`` value is in ``ports`` (an int or an iterable
+    of ints) skip the ML block — the "trusted service port" policy the
+    telemetry tests model.  Like :func:`threshold_postprocess`, the pair
+    is built together so the per-packet and batched paths cannot drift;
+    install both (``bypass_predicate=`` and ``bypass_predicate_batch=``)
+    to keep trace-scale runs off the per-row fallback loop.
+    """
+    if isinstance(ports, (int, np.integer)):
+        ports = (ports,)
+    wanted = np.array(sorted({int(p) for p in ports}), dtype=np.int64)
+    wanted_set = frozenset(int(p) for p in wanted)
+
+    def scalar(phv: PHV) -> bool:
+        return int(phv.get(field)) in wanted_set
+
+    def batch(batch: PHVBatch) -> np.ndarray:
+        return np.isin(batch.int_column(field), wanted)
 
     return scalar, batch
 

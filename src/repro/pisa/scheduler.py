@@ -13,7 +13,7 @@ import heapq
 import itertools
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import Any
 
 __all__ = ["PIFO", "PacketQueue", "RoundRobinArbiter"]
 

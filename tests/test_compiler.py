@@ -4,10 +4,10 @@ The latency assertions pin the paper's Table 6 anchors — the cost model is
 calibrated, so these are regression tests on published numbers.
 """
 
-import numpy as np
 import pytest
 
 from repro.compiler import (
+    BudgetError,
     GridSpec,
     compile_graph,
     critical_path_cycles,
@@ -17,7 +17,7 @@ from repro.compiler import (
     place_and_route,
     unroll_sweep,
 )
-from repro.hw.params import CUGeometry, DEFAULT_CU_GEOMETRY
+from repro.hw.params import CUGeometry
 from repro.mapreduce import (
     DataflowGraph,
     activation_graph,
@@ -155,6 +155,56 @@ class TestFolding:
         g.add("output", preds=[dot], name="y", width=1)
         with pytest.raises(ValueError):
             compile_graph(g, cu_budget=90, mu_budget=30)
+
+
+class TestBudgetSymmetry:
+    """Both overflow paths raise the same typed error with the same fields."""
+
+    @staticmethod
+    def _mu_heavy():
+        g = DataflowGraph(name="mu-heavy")
+        inp = g.add("input", name="x", width=16)
+        bank = g.add("const", name="w", weight_values=16384 * 40)
+        dot = g.add("dot", preds=[inp, bank], name="d", parallel=1, width=16,
+                    chain_ops=1, reduce_op="sum", fn=lambda x: x[:1])
+        g.add("output", preds=[dot], name="y", width=1)
+        return g
+
+    @staticmethod
+    def _cu_heavy():
+        g = DataflowGraph(name="cu-heavy")
+        inp = g.add("input", name="x", width=4)
+        m = g.add("map", preds=[inp], name="wide", width=4, chain_ops=1,
+                  parallel=400, fn=lambda x: x)
+        g.add("output", preds=[m], name="y", width=4)
+        return g
+
+    def test_mu_overflow_error_fields(self):
+        with pytest.raises(BudgetError) as excinfo:
+            compile_graph(self._mu_heavy(), cu_budget=90, mu_budget=30)
+        err = excinfo.value
+        assert err.graph_name == "mu-heavy"
+        assert err.resource == "MU"
+        assert err.needed == 40
+        assert err.budget == 30
+        assert "compression" in str(err)
+
+    def test_cu_overflow_without_fold_error_fields(self):
+        with pytest.raises(BudgetError) as excinfo:
+            compile_graph(self._cu_heavy(), cu_budget=90, fold=False)
+        err = excinfo.value
+        assert err.graph_name == "cu-heavy"
+        assert err.resource == "CU"
+        assert err.needed > err.budget == 90
+        assert "fold" in str(err)
+
+    def test_cu_overflow_folds_by_default(self):
+        design = compile_graph(self._cu_heavy(), cu_budget=90)
+        assert design.fold_factor > 1
+        assert design.n_cu <= 90
+
+    def test_budget_error_is_value_error(self):
+        assert issubclass(BudgetError, ValueError)
 
 
 class TestCriticalPath:

@@ -7,7 +7,6 @@ and mid-stream weight swaps.
 """
 
 import numpy as np
-import pytest
 
 from repro.datasets import DNN_FEATURES
 from repro.fixpoint import FIX8

@@ -14,12 +14,10 @@ from repro.hw import (
     SwitchChipParams,
     TaurusChip,
     cu_area_mm2,
-    cu_power_mw,
     fu_area_um2,
     fu_power_uw,
     grid_area_mm2,
     grid_composition,
-    grid_power_mw,
     mu_area_mm2,
 )
 from repro.mapreduce import inner_product_graph

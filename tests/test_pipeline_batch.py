@@ -14,7 +14,7 @@ import numpy as np
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.datasets import DNN_FEATURES, expand_to_packets, generate_connections
+from repro.datasets import DNN_FEATURES, expand_to_packets
 from repro.hw import MapReduceBlock
 from repro.mapreduce import dnn_graph
 from repro.pisa import (

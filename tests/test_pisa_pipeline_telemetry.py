@@ -7,7 +7,6 @@ from repro.datasets import DNN_FEATURES
 from repro.hw import MapReduceBlock
 from repro.mapreduce import dnn_graph
 from repro.pisa import (
-    DECISION_DROP,
     DECISION_FLAG,
     DECISION_FORWARD,
     Action,
@@ -16,6 +15,7 @@ from repro.pisa import (
     Packet,
     TableEntry,
     TaurusPipeline,
+    port_bypass,
 )
 from repro.telemetry import IntFrame, IntStack, int_features
 
@@ -23,10 +23,12 @@ from repro.telemetry import IntFrame, IntStack, int_features
 @pytest.fixture(scope="module")
 def pipeline(quantized_dnn):
     block = MapReduceBlock(dnn_graph(quantized_dnn))
+    ssh_bypass, ssh_bypass_batch = port_bypass(22)
     return TaurusPipeline(
         block=block,
         feature_names=DNN_FEATURES,
-        bypass_predicate=lambda phv: phv.get("dst_port") == 22,
+        bypass_predicate=ssh_bypass,
+        bypass_predicate_batch=ssh_bypass_batch,
     )
 
 
@@ -87,9 +89,11 @@ class TestPipeline:
 
     def test_stats_accumulate(self, quantized_dnn):
         block = MapReduceBlock(dnn_graph(quantized_dnn))
+        ssh_bypass, ssh_bypass_batch = port_bypass(22)
         pipe = TaurusPipeline(
             block=block, feature_names=DNN_FEATURES,
-            bypass_predicate=lambda phv: phv.get("dst_port") == 22,
+            bypass_predicate=ssh_bypass,
+            bypass_predicate_batch=ssh_bypass_batch,
         )
         pipe.process(_packet(np.zeros(6)))
         pipe.process(_packet(np.zeros(6), dst_port=22))

@@ -1,6 +1,5 @@
 """Tests for the end-to-end testbed: events, traffic, baseline, training."""
 
-import numpy as np
 import pytest
 
 from repro.testbed import (
