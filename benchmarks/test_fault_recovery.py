@@ -1,0 +1,165 @@
+"""Fault-tolerance cost: heartbeat overhead + crash-recovery latency.
+
+Not a paper table: this prices PR 7's crash-transparent pool runs.  Two
+questions matter for the serving-substrate shape the pool targets:
+
+1. **What do heartbeats cost when nothing fails?**  Every fork worker
+   now runs a watchdog heartbeat thread and the parent select()s on the
+   response pipe with a deadline.  ``hb_relative_throughput`` is
+   steady-state warm-pool throughput with heartbeats enabled (the
+   default) over the same pool with heartbeats off — it must stay near
+   1.0, and ``BENCH_pool_runtime.json``'s floors (recorded with
+   heartbeats on) already hold the absolute trajectory.
+2. **What does a crash cost when one happens?**  ``recovery_latency_s``
+   is the wall-clock a SIGKILLed worker adds to an otherwise identical
+   run — re-fork from parent state plus chunk replay — and
+   ``recovered_identical`` records that the faulted run's results
+   matched the unfaulted ones bit-for-bit (also asserted).
+
+The smoke variant runs in tier-1; ``--runbench`` adds a larger trace
+and more repeats.  Both update ``BENCH_fault_recovery.json``;
+``benchmarks/check_bench.py`` floors the heartbeat ratio and the
+identity flag.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.core import render_table, write_result
+from repro.datasets import dnn_feature_matrix, expand_to_packets
+from repro.runtime import FaultPlan, available_parallelism
+from repro.testbed.dataplane import TaurusDataPlane
+
+HAS_FORK = hasattr(os, "fork")
+pytestmark = pytest.mark.skipif(
+    not HAS_FORK, reason="fault recovery needs the fork pool"
+)
+
+SHARDS = 2
+
+
+def _timed_runs(plane, trace, repeats, chunk_size):
+    result = plane.run_switch(trace, chunk_size=chunk_size)  # warmup
+    t0 = time.perf_counter()
+    for __ in range(repeats):
+        result = plane.run_switch(trace, chunk_size=chunk_size)
+    return (time.perf_counter() - t0) / repeats, result
+
+
+def _measure(quantized, trace, repeats, chunk_size=512) -> dict:
+    trace.columns()  # prime the cached columnar view outside the timers
+    reference = TaurusDataPlane(quantized).run_switch(
+        trace, chunk_size=chunk_size
+    )
+
+    # -- heartbeat overhead (steady state, no faults) -------------------
+    with TaurusDataPlane(
+        quantized, shards=SHARDS, executor="fork", pool=True
+    ) as hb_plane:
+        hb_s, hb_result = _timed_runs(hb_plane, trace, repeats, chunk_size)
+    assert hb_result == reference, "heartbeat pool diverged from the oracle"
+    with TaurusDataPlane(
+        quantized, shards=SHARDS, executor="fork", pool=True,
+        pool_options={"heartbeat_interval": None},
+    ) as quiet_plane:
+        quiet_s, quiet_result = _timed_runs(
+            quiet_plane, trace, repeats, chunk_size
+        )
+    assert quiet_result == reference, "quiet pool diverged from the oracle"
+
+    # -- recovery latency (one injected kill per timed run) -------------
+    plan = FaultPlan()
+    with TaurusDataPlane(
+        quantized, shards=SHARDS, executor="fork", pool=True,
+        pool_options={"faults": plan, "retry_backoff": 0.01},
+    ) as faulted_plane:
+        faulted_plane.run_switch(trace, chunk_size=chunk_size)  # warmup
+        steady_s = 0.0
+        faulted_s = 0.0
+        crashes = 0
+        for i in range(repeats):
+            plan.add(i % SHARDS, 1, "kill")
+            t0 = time.perf_counter()
+            faulted = faulted_plane.run_switch(trace, chunk_size=chunk_size)
+            faulted_s += time.perf_counter() - t0
+            assert faulted == reference, "faulted run diverged"
+        crashes = faulted_plane.pool_health.crashes
+        steady_s = hb_s * repeats
+    recovery_s = max(0.0, faulted_s - steady_s) / max(crashes, 1)
+
+    return {
+        "n_packets": int(len(trace)),
+        "repeats": int(repeats),
+        "chunk_size": int(chunk_size),
+        "shards": SHARDS,
+        "host_cpus": int(available_parallelism()),
+        "hb_per_run_s": hb_s,
+        "quiet_per_run_s": quiet_s,
+        "hb_relative_throughput": quiet_s / max(hb_s, 1e-12),
+        "crashes_injected": int(crashes),
+        "recovery_latency_s": recovery_s,
+        "recovered_identical": 1.0,  # asserted above; recorded for floors
+    }
+
+
+def _report(name: str, payload: dict) -> None:
+    table = render_table(
+        f"Crash-transparent pool runs ({name}): "
+        f"{payload['n_packets']} packets x {payload['repeats']} runs, "
+        f"{payload['shards']} shards, {payload['host_cpus']} host CPU(s)",
+        ["metric", "value"],
+        [
+            ["warm pool s/run (heartbeats on)",
+             f"{payload['hb_per_run_s']*1e3:.1f} ms"],
+            ["warm pool s/run (heartbeats off)",
+             f"{payload['quiet_per_run_s']*1e3:.1f} ms"],
+            ["relative throughput w/ heartbeats",
+             f"{payload['hb_relative_throughput']:.2f}x"],
+            ["crashes injected", str(payload["crashes_injected"])],
+            ["recovery latency per crash",
+             f"{payload['recovery_latency_s']*1e3:.1f} ms"],
+            ["faulted runs bit-identical",
+             "yes" if payload["recovered_identical"] else "NO"],
+        ],
+    )
+    print("\n" + table)
+    write_result("fault_recovery", table)
+
+
+@pytest.mark.smoke
+def test_fault_recovery_smoke(experiment, bench_json):
+    """Tier-1-safe: heartbeats near-free, one injected kill per run
+    recovered bit-identically."""
+    live = experiment.workload.live
+    trace = expand_to_packets(
+        live,
+        feature_matrix=dnn_feature_matrix(live),
+        max_packets=1500,
+        seed=43,
+    )
+    result = _measure(experiment.dataplane.quantized, trace, repeats=3)
+    bench_json("fault_recovery", {"smoke": result})
+    _report("smoke", result)
+    assert result["hb_relative_throughput"] > 0.5
+    assert result["crashes_injected"] >= 1
+
+
+@pytest.mark.bench
+def test_fault_recovery_full(experiment, bench_json):
+    """Opt-in: a larger trace and more injected crashes."""
+    live = experiment.workload.live
+    trace = expand_to_packets(
+        live,
+        feature_matrix=dnn_feature_matrix(live),
+        max_packets=6000,
+        seed=44,
+    )
+    result = _measure(experiment.dataplane.quantized, trace, repeats=6)
+    bench_json("fault_recovery", {"full_trace": result})
+    _report("full trace", result)
+    assert result["hb_relative_throughput"] > 0.5
+    assert result["crashes_injected"] >= 1

@@ -143,6 +143,27 @@ def main() -> None:
         f"({cold_s / warm_s:.1f}x) for identical results"
     )
 
+    # 8. Crash transparency: kill a worker mid-sequence and the pool
+    #    recovers it — re-fork from parent state, replay the unacked
+    #    chunks — with results still identical to the unfaulted runs.
+    #    FaultPlan injects the crash deterministically (worker 0 is
+    #    SIGKILLed at its first chunk of the first run).
+    from repro.runtime import FaultPlan
+
+    plan = FaultPlan().add(worker=0, ordinal=0, kind="kill")
+    with TaurusDataPlane(
+        detector.quantized, shards=2, executor="fork", pool=True,
+        pool_options={"faults": plan},
+    ) as survivor:
+        crashed = [survivor.run_switch(t) for t in small_traces]
+        health = survivor.pool_health
+    assert crashed == cold, "recovery must be invisible in the results"
+    print(
+        f"worker killed mid-run: {health.crashes} crash, "
+        f"{health.restarts} restart, {health.replayed_chunks} chunk(s) "
+        "replayed — results identical"
+    )
+
 
 if __name__ == "__main__":
     main()

@@ -140,6 +140,9 @@ CHECKS: dict[str, CheckSpec] = {
         _spec("rt-fork-under-lock", Severity.ERROR, "fork-safety",
               "os.fork() while holding a lock; the child inherits it held "
               "forever"),
+        _spec("rt-unbounded-recv", Severity.WARNING, "fork-safety",
+              "recv() with no timeout (or join() with no timeout outside a "
+              "close path) parks the caller forever if the worker dies"),
     ]
 }
 

@@ -23,6 +23,14 @@ are caught in CI rather than as hangs and leaked fds:
 ``rt-fork-under-lock``
     Forking while holding a lock snapshots the lock *held* into the
     child, which then deadlocks on first acquire.
+``rt-unbounded-recv``
+    A ``recv()`` call with no timeout argument parks the caller on a
+    pipe forever if the worker dies without closing its end — the exact
+    hang the pool's watchdog exists to prevent.  The same applies to a
+    ``join()`` with no timeout *outside* a close/shutdown path: worker
+    supervision loops must stay interruptible, so joins there must be
+    bounded (loop on ``join(t)`` + ``is_alive()`` to wait indefinitely
+    but interruptibly).
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records with
 file/line provenance.  Suppress a finding by appending ``# noqa`` (all
@@ -125,6 +133,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         _lint_pipes(body, resolved, report)
         if fn.name in CLOSE_PATH_NAMES:
             _lint_close_joins(fn, calls, report)
+        _lint_unbounded_recv(fn, calls, report)
     return diags
 
 
@@ -215,6 +224,40 @@ def _lint_close_joins(fn, calls, report) -> None:
                 "rt-unbounded-close-join", Severity.WARNING,
                 f"{fn.name}() joins a thread without a timeout on a "
                 "teardown path; a stuck worker hangs interpreter exit",
+                call.lineno,
+            )
+
+
+def _lint_unbounded_recv(fn, calls, report) -> None:
+    """Flag blocking waits that a dead peer can never satisfy.
+
+    ``recv()`` with no timeout is flagged everywhere: the runtime's
+    receive APIs accept a ``hang_timeout`` precisely so a crashed worker
+    surfaces as :class:`WorkerCrash` instead of a parked parent.
+    ``join()`` with no timeout is flagged outside close paths (close
+    paths have their own stricter check); supervision code must use
+    bounded joins in a loop to stay interruptible.
+    """
+    on_close_path = fn.name in CLOSE_PATH_NAMES
+    for call in calls:
+        if not isinstance(call.func, ast.Attribute):
+            continue
+        if call.args or call.keywords:
+            continue
+        if call.func.attr == "recv":
+            report(
+                "rt-unbounded-recv", Severity.WARNING,
+                f"{fn.name}() calls recv() with no timeout; a dead worker "
+                "parks this caller on the pipe forever — pass a bounded "
+                "hang_timeout",
+                call.lineno,
+            )
+        elif call.func.attr == "join" and not on_close_path:
+            report(
+                "rt-unbounded-recv", Severity.WARNING,
+                f"{fn.name}() joins a thread without a timeout outside a "
+                "close path; loop on join(t)/is_alive() so the wait stays "
+                "interruptible",
                 call.lineno,
             )
 

@@ -6,7 +6,10 @@ executors (:func:`run_tasks`), double-buffered chunk staging
 (:func:`prefetch`), time-multiplexing of several compiled apps over
 shared grid lanes (:class:`MultiAppFabric`), and persistent pre-forked
 worker pools with pipelined chunk dispatch (:class:`ShardPool`) that
-amortize per-run setup across consecutive runs.
+amortize per-run setup across consecutive runs.  Pool runs are
+crash-transparent: heartbeats and a watchdog detect dead or hung
+workers, replacements replay unacknowledged chunks, and deterministic
+fault injection (:class:`FaultPlan`) exercises those paths in tests.
 """
 
 from .executors import (
@@ -17,6 +20,8 @@ from .executors import (
     resolve_executor,
     run_tasks,
 )
+from .faults import FAULT_KINDS, FaultEvent, FaultPlan
+from .health import PoisonChunk, PoolError, PoolHealth, WorkerHealth
 from .fabric import (
     SCHEDULING_POLICIES,
     FabricApp,
@@ -48,6 +53,13 @@ __all__ = [
     "available_parallelism",
     "resolve_executor",
     "run_tasks",
+    "FAULT_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "PoisonChunk",
+    "PoolError",
+    "PoolHealth",
+    "WorkerHealth",
     "SCHEDULING_POLICIES",
     "FabricApp",
     "MultiAppFabric",

@@ -20,12 +20,16 @@ from __future__ import annotations
 
 import os
 import pickle
+import select
 import signal
 import struct
 import sys
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Callable, Sequence
+
+from .faults import FAULT_REQUEST
 
 __all__ = [
     "EXECUTORS",
@@ -237,33 +241,133 @@ class WorkerDispatchError(RuntimeError):
 
 
 class WorkerCrash(RuntimeError):
-    """A persistent worker process died mid-conversation.
+    """A persistent worker process died (or hung) mid-conversation.
 
-    Carries the worker's pid and its decoded exit status (negative values
-    are ``-signum``, matching :func:`os.waitstatus_to_exitcode`), so pool
-    owners can report *how* the worker died and replace it.
+    Structured so the recovery path can act on it rather than parse it:
+    ``worker_index`` is the pool slot, ``exit_status`` follows
+    :func:`os.waitstatus_to_exitcode` (negative values are ``-signum``),
+    ``hung`` marks a watchdog SIGKILL of a stuck-but-live worker, and
+    ``last_acked`` is the last chunk ordinal the worker answered before
+    dying (``None`` when the owner doesn't track acks).
     """
 
-    def __init__(self, pid: int, exit_status: int | None, detail: str = ""):
+    def __init__(
+        self,
+        pid: int,
+        exit_status: int | None,
+        detail: str = "",
+        *,
+        worker_index: int | None = None,
+        hung: bool = False,
+        last_acked: int | None = None,
+    ):
         self.pid = pid
         self.exit_status = exit_status
-        status = "unknown" if exit_status is None else str(exit_status)
-        if exit_status is not None and exit_status < 0:
-            status += f" (killed by signal {-exit_status})"
-        message = f"pool worker pid {pid} died (exit status {status})"
-        if detail:
-            message += f": {detail}"
-        super().__init__(message)
+        self.detail = detail
+        self.worker_index = worker_index
+        self.hung = hung
+        self.last_acked = last_acked
+        super().__init__()
+
+    @property
+    def signum(self) -> int | None:
+        """The killing signal's number, or None for a plain exit."""
+        if self.exit_status is not None and self.exit_status < 0:
+            return -self.exit_status
+        return None
+
+    @property
+    def signal_name(self) -> str | None:
+        """The killing signal's name (``SIGKILL``), or None."""
+        if self.signum is None:
+            return None
+        try:
+            return signal.Signals(self.signum).name
+        except ValueError:
+            return f"signal {self.signum}"
+
+    def __str__(self) -> str:
+        if self.worker_index is not None:
+            who = f"pool worker {self.worker_index} (pid {self.pid})"
+        else:
+            who = f"pool worker pid {self.pid}"
+        if self.signum is not None:
+            how = f"killed by {self.signal_name}"
+        elif self.exit_status is None:
+            how = "exit status unknown"
+        else:
+            how = f"exit status {self.exit_status}"
+        verb = "hung past its deadline and was killed" if self.hung else "died"
+        message = f"{who} {verb} ({how})"
+        if self.last_acked is not None:
+            message += f" after acking chunk {self.last_acked}"
+        if self.detail:
+            message += f": {self.detail}"
+        return message
 
 
-def _serve(context, request_fd: int, response_fd: int) -> None:
+def _serve(
+    context,
+    request_fd: int,
+    response_fd: int,
+    heartbeat_interval: float | None = None,
+) -> None:
     """A forked worker's request loop: framed pickles in, framed out.
 
     Runs until the parent closes the request pipe (EOF is the shutdown
     signal).  Handler exceptions are reported in-band — ``(False, msg)``
     — so one bad chunk doesn't kill the worker.
+
+    With ``heartbeat_interval`` set, a daemon thread interleaves
+    ``("beat", {"busy_s", "handled"})`` frames with responses (the
+    response writer is serialized by a lock, so frames never tear).
+    ``busy_s`` is how long the *current* request has been in flight —
+    the parent-side watchdog uses it to tell a stuck worker from a slow
+    chunk queue.
+
+    ``FAULT_REQUEST`` frames carry an injected failure plus the real
+    request; the failure is executed *here*, at the dispatch point, so
+    tests can provoke every crash mode deterministically (see
+    :mod:`repro.runtime.faults`).
     """
+    state = {"busy_since": None, "handled": 0}
+    tx_lock = threading.Lock()
+
     with os.fdopen(request_fd, "rb") as rx, os.fdopen(response_fd, "wb") as tx:
+
+        def _send(response) -> None:
+            blob = pickle.dumps(response, protocol=pickle.HIGHEST_PROTOCOL)
+            with tx_lock:
+                write_frame(tx, blob)
+
+        def _handle(kind, payload):
+            state["busy_since"] = time.monotonic()
+            try:
+                try:
+                    return (True, context.handle(kind, payload))
+                except BaseException as exc:  # report, never unwind the loop
+                    return (False, f"{type(exc).__name__}: {exc}")
+            finally:
+                state["busy_since"] = None
+                state["handled"] += 1
+
+        if heartbeat_interval:
+
+            def _beat() -> None:
+                while True:
+                    time.sleep(heartbeat_interval)
+                    since = state["busy_since"]
+                    busy_s = 0.0 if since is None else time.monotonic() - since
+                    try:
+                        _send(("beat", {
+                            "busy_s": busy_s,
+                            "handled": state["handled"],
+                        }))
+                    except (OSError, ValueError):
+                        return  # pipe gone: the worker is shutting down
+
+            threading.Thread(target=_beat, daemon=True).start()
+
         while True:
             frame = read_frame(rx)
             if frame is None:
@@ -272,15 +376,32 @@ def _serve(context, request_fd: int, response_fd: int) -> None:
             if kind == ERROR_REQUEST:
                 # Parent-side dispatch failure: echo it back so the
                 # parent's collector unblocks with the error.
-                response = ("abort", payload)
-            else:
-                try:
-                    response = (True, context.handle(kind, payload))
-                except BaseException as exc:  # report, never unwind the loop
-                    response = (False, f"{type(exc).__name__}: {exc}")
-            write_frame(
-                tx, pickle.dumps(response, protocol=pickle.HIGHEST_PROTOCOL)
-            )
+                _send(("abort", payload))
+                continue
+            if kind == FAULT_REQUEST:
+                (fault_kind, seconds), (kind, payload) = payload
+                if fault_kind == "kill":
+                    # A segfault between frames: die without a trace.
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if fault_kind in ("hang", "delay"):
+                    # Hold the chunk (busy, unresponsive).  A hang only
+                    # ends when the watchdog SIGKILLs us; a delay is the
+                    # benign twin that must NOT trip recovery.
+                    state["busy_since"] = time.monotonic()
+                    time.sleep(seconds)
+                    state["busy_since"] = None
+                if fault_kind == "torn_frame":
+                    # Crash mid-write: promise a full frame, deliver half.
+                    response = _handle(kind, payload)
+                    blob = pickle.dumps(
+                        response, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    with tx_lock:
+                        tx.write(_FRAME_HEADER.pack(len(blob)))
+                        tx.write(blob[: max(1, len(blob) // 2)])
+                        tx.flush()
+                    os._exit(1)
+            _send(_handle(kind, payload))
 
 
 class ForkWorker:
@@ -297,7 +418,14 @@ class ForkWorker:
     see EOF when the parent closes its request pipe.
     """
 
-    def __init__(self, context, extra_close_fds: Sequence[int] = ()):
+    def __init__(
+        self,
+        context,
+        extra_close_fds: Sequence[int] = (),
+        *,
+        heartbeat_interval: float | None = None,
+        index: int | None = None,
+    ):
         if not hasattr(os, "fork"):
             raise RuntimeError("ForkWorker requires os.fork (POSIX only)")
         request_read, request_write = os.pipe()
@@ -315,7 +443,7 @@ class ForkWorker:
                         os.close(fd)
                     except OSError:
                         pass
-                _serve(context, request_read, response_write)
+                _serve(context, request_read, response_write, heartbeat_interval)
             except BaseException:
                 status = 1
             finally:
@@ -323,8 +451,12 @@ class ForkWorker:
         os.close(request_read)
         os.close(response_write)
         self.pid = pid
+        self.index = index
+        self.heartbeat_interval = heartbeat_interval
         self._tx = os.fdopen(request_write, "wb")
-        self._rx = os.fdopen(response_read, "rb")
+        # Unbuffered: recv() select()s on the raw fd, and a buffered file
+        # object could hold a frame select cannot see.
+        self._rx = os.fdopen(response_read, "rb", buffering=0)
         self._exit_status: int | None = None
 
     @property
@@ -354,31 +486,102 @@ class ForkWorker:
         except (BrokenPipeError, OSError, ValueError) as exc:
             # ValueError: the pipe was closed under us (pool shutdown).
             raise WorkerCrash(
-                self.pid, self.reap(), f"request pipe broke ({exc})"
+                self.pid,
+                self.reap(),
+                f"request pipe broke ({exc})",
+                worker_index=self.index,
             ) from None
 
-    def recv(self):
+    def _next_frame(self, hang_timeout: float | None) -> bytes | None:
+        """One frame off the response pipe, None on EOF/torn frame.
+
+        With a ``hang_timeout``, waits on the raw fd via select and
+        SIGKILLs the child if *nothing* (not even a heartbeat) arrives
+        within the deadline — the watchdog's no-signs-of-life rule.
+        """
+        if hang_timeout is None:
+            try:
+                return read_frame(self._rx)
+            except (OSError, ValueError):  # pipe closed (pool shutdown)
+                return None
+        deadline = time.monotonic() + hang_timeout
+        while True:
+            try:
+                fd = self._rx.fileno()
+            except ValueError:  # rx closed under us
+                return None
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                self.kill()
+                raise WorkerCrash(
+                    self.pid,
+                    self.reap(),
+                    f"no frames for {hang_timeout:.1f}s",
+                    worker_index=self.index,
+                    hung=True,
+                )
+            try:
+                ready, __, __ = select.select([fd], [], [], min(remaining, 0.25))
+            except (OSError, ValueError):
+                return None
+            if ready:
+                try:
+                    return read_frame(self._rx)
+                except (OSError, ValueError):
+                    return None
+
+    def recv(self, hang_timeout: float | None = None):
         """The next response, in request order.
 
-        Raises :class:`WorkerCrash` if the child died (EOF / torn frame),
-        :class:`WorkerDispatchError` if the parent-side dispatch failed
-        (echoed :data:`ERROR_REQUEST`), or ``RuntimeError`` if the child
-        survived but its handler raised.
+        Heartbeat frames are consumed transparently; each one restarts
+        the ``hang_timeout`` clock, and a beat reporting a single request
+        in flight for longer than ``hang_timeout`` gets the child
+        SIGKILLed (the watchdog's stuck-worker rule).
+
+        Raises :class:`WorkerCrash` if the child died (EOF / torn frame)
+        or was killed by the watchdog, :class:`WorkerDispatchError` if
+        the parent-side dispatch failed (echoed :data:`ERROR_REQUEST`),
+        or ``RuntimeError`` if the child survived but its handler raised.
         """
+        while True:
+            frame = self._next_frame(hang_timeout)
+            if frame is None:
+                raise WorkerCrash(
+                    self.pid,
+                    self.reap(),
+                    "response pipe closed",
+                    worker_index=self.index,
+                )
+            status, payload = pickle.loads(frame)
+            if status == "beat":
+                busy_s = float(payload.get("busy_s", 0.0))
+                if hang_timeout is not None and busy_s > hang_timeout:
+                    self.kill()
+                    raise WorkerCrash(
+                        self.pid,
+                        self.reap(),
+                        f"request in flight for {busy_s:.1f}s "
+                        f"(deadline {hang_timeout:.1f}s)",
+                        worker_index=self.index,
+                        hung=True,
+                    )
+                continue
+            if status == "abort":
+                raise WorkerDispatchError(
+                    f"dispatch to pool worker pid {self.pid} failed: {payload}"
+                )
+            if not status:
+                raise RuntimeError(
+                    f"pool worker pid {self.pid} failed: {payload}"
+                )
+            return payload
+
+    def kill(self) -> None:
+        """SIGKILL the child (idempotent; reap() collects the status)."""
         try:
-            frame = read_frame(self._rx)
-        except (OSError, ValueError):  # pipe closed under us (pool shutdown)
-            frame = None
-        if frame is None:
-            raise WorkerCrash(self.pid, self.reap(), "response pipe closed")
-        status, payload = pickle.loads(frame)
-        if status == "abort":
-            raise WorkerDispatchError(
-                f"dispatch to pool worker pid {self.pid} failed: {payload}"
-            )
-        if not status:
-            raise RuntimeError(f"pool worker pid {self.pid} failed: {payload}")
-        return payload
+            os.kill(self.pid, signal.SIGKILL)
+        except (ProcessLookupError, PermissionError):
+            pass
 
     # ------------------------------------------------------------------
     # Teardown

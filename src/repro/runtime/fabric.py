@@ -315,6 +315,11 @@ class MultiAppFabric:
         pipe protocol instead of one task per lane per run.  Close the
         fabric (context manager or :meth:`close`) when a pool is
         attached.
+    pool_options:
+        Extra keyword arguments for the lane
+        :class:`~repro.runtime.pool.ShardPool` (fault-tolerance knobs:
+        ``hang_timeout``, ``heartbeat_interval``, ``faults``, ...), as in
+        :class:`~repro.runtime.ShardedRuntime`.
     """
 
     def __init__(
@@ -325,6 +330,7 @@ class MultiAppFabric:
         chunk_size: int = DEFAULT_TRACE_CHUNK,
         policy: str = "round_robin",
         pool: bool | str = False,
+        pool_options: dict | None = None,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -342,6 +348,9 @@ class MultiAppFabric:
         self._lanes: list[_Lane] | None = None
         self._app_turns: dict[int, int] = {}
         self._pool_request = pool
+        self._pool_options = pool_options
+        if pool_options and not pool:
+            raise ValueError("pool_options requires pool=True")
         self.pool: ShardPool | None = None
         #: Modeled drain of the last run (slowest lane; reconfiguration
         #: and interleave costs included).
@@ -352,6 +361,13 @@ class MultiAppFabric:
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
+    @property
+    def pool_health(self):
+        """The lane pool's :class:`~repro.runtime.health.PoolHealth`
+        counters (``None`` without a pool, or before the first run builds
+        the lanes)."""
+        return None if self.pool is None else self.pool.health
+
     def close(self) -> None:
         """Shut the attached lane-worker pool down (no-op without one)."""
         if self.pool is not None:
@@ -439,7 +455,9 @@ class MultiAppFabric:
                 # point and reset_state() ships zero payload.
                 for context in contexts:
                     context.handle("mark", None)
-                self.pool = ShardPool(contexts, mode=mode)
+                self.pool = ShardPool(
+                    contexts, mode=mode, **(self._pool_options or {})
+                )
         return self._lanes
 
     # ------------------------------------------------------------------
@@ -630,8 +648,32 @@ class MultiAppFabric:
                 ("app_chunk", (a, chunk, want_delta)) for a, chunk in schedule
             )
             streams.append((requests, len(schedule)))
+
+        def apply_delta(s: int, __ordinal: int, response) -> None:
+            # Ack callback: land each slot's delta the moment it is
+            # acked, keeping this process's lane pipelines at exactly
+            # the workers' last acked slot — the state a crash
+            # replacement re-forks from.
+            a, __, delta = response
+            if delta is not None:
+                lanes[s].pipelines[a].apply_state_delta(delta)
+
+        def degrade(s: int, kind: str, payload):
+            # In-parent fallback when a lane's workers cannot be kept
+            # alive; the parent lane pipeline continues from the last
+            # acked slot.  delta=None — the state is already here.
+            if kind != "app_chunk":
+                raise RuntimeError(f"cannot degrade request kind {kind!r}")
+            a, chunk, __ = payload
+            result = lanes[s].pipelines[a].process_trace_batch(
+                chunk, chunk_size=max(chunk.n, 1)
+            )
+            return (a, result, None)
+
         try:
-            responses = self.pool.map_streams(streams)
+            responses = self.pool.map_streams(
+                streams, on_result=apply_delta, degrade=degrade
+            )
         except RuntimeError:
             # Keep this process's lanes consistent with the workers after
             # a failed run (some chunks may have executed worker-side
@@ -643,9 +685,7 @@ class MultiAppFabric:
             pieces: dict[int, list[TracePipelineResult]] = {
                 a: [] for a in lane.pipelines
             }
-            for a, result, delta in responses[s]:
-                if delta is not None:
-                    lane.pipelines[a].apply_state_delta(delta)
+            for a, result, __ in responses[s]:
                 pieces[a].append(result)
             start_cycle, start_reconfigs, start_reconfig_cycles = before[s]
             payloads.append(

@@ -1,0 +1,169 @@
+"""Deterministic fault injection for the persistent shard pool.
+
+Crash recovery that is only exercised by real crashes is recovery that is
+never exercised.  This module gives the pool a seeded, reproducible fault
+schedule: a :class:`FaultPlan` maps ``(worker index, chunk ordinal)`` to a
+:class:`FaultEvent`, and the pool's dispatch path consults the plan as it
+sends each chunk.  A matching event travels to the worker wrapped in a
+``FAULT_REQUEST`` frame, and the worker executes the failure *at the
+dispatch point* — before, during, or instead of handling the chunk — so
+every failure mode the recovery path claims to handle can be provoked
+bit-reproducibly in tests.
+
+Supported fault kinds:
+
+``kill``
+    The worker SIGKILLs itself before touching the chunk.  Models a
+    segfault / OOM-kill between frames: the parent sees EOF on the
+    response pipe.
+``hang``
+    The worker sleeps (default: effectively forever) while *holding* the
+    chunk, never responding.  Models a livelock or stuck syscall; only the
+    parent-side watchdog can clear it (SIGKILL past the hang deadline).
+``torn_frame``
+    The worker processes the chunk, then writes a *partial* response frame
+    (a length header promising more bytes than follow) and exits.  Models
+    a crash mid-write: the parent must treat the torn frame exactly like
+    EOF and must not trust the partial payload.
+``delay``
+    The worker sleeps briefly and then handles the chunk normally.  A
+    benign fault used to shake out timeout tuning: recovery must *not*
+    trigger.
+
+Events are consumed when taken (each fires ``times`` times, default once),
+so a replayed chunk after recovery runs clean — this is what makes a
+faulted run converge to the unfaulted result.  Set ``times`` higher to
+model a poison chunk that kills every worker that touches it.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+
+__all__ = ["FAULT_KINDS", "FAULT_REQUEST", "FaultEvent", "FaultPlan"]
+
+# Request kind reserved by the framed pipe protocol for fault delivery.
+# Like ERROR_REQUEST, the double-underscore name cannot collide with a
+# real handler kind.
+FAULT_REQUEST = "__fault__"
+
+FAULT_KINDS = ("kill", "hang", "torn_frame", "delay")
+
+# A "hang" sleeps this long unless the event says otherwise -- far past
+# any sane watchdog deadline, but bounded so an unwatched test process
+# still terminates eventually.
+_DEFAULT_HANG_S = 3600.0
+
+
+@dataclass
+class FaultEvent:
+    """One scheduled failure: what goes wrong, and for how long.
+
+    ``seconds`` is the sleep for ``hang``/``delay`` kinds (ignored for the
+    others).  ``times`` is how many takes the event survives: 1 means the
+    replayed chunk runs clean, a large value models a poison chunk.
+    """
+
+    kind: str
+    seconds: float = 0.0
+    times: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {FAULT_KINDS}"
+            )
+        if self.times < 1:
+            raise ValueError("fault event must fire at least once")
+        if self.kind == "hang" and self.seconds <= 0.0:
+            self.seconds = _DEFAULT_HANG_S
+
+    def wire(self) -> tuple:
+        """Picklable form shipped to the worker inside a FAULT_REQUEST."""
+        return (self.kind, float(self.seconds))
+
+
+class FaultPlan:
+    """A seeded schedule of faults keyed by ``(worker, chunk ordinal)``.
+
+    Thread-safe: the pool consults the plan from one supervisor thread per
+    worker.  ``take`` is consuming — after an event has fired ``times``
+    times it stops matching, so recovery's replay of the same ordinal runs
+    clean.
+    """
+
+    def __init__(self) -> None:
+        self._events: dict[tuple[int, int], FaultEvent] = {}
+        self._fired: list[tuple[int, int, str]] = []
+        self._lock = threading.Lock()
+
+    def add(
+        self,
+        worker: int,
+        ordinal: int,
+        kind: str,
+        *,
+        seconds: float = 0.0,
+        times: int = 1,
+    ) -> "FaultPlan":
+        """Schedule ``kind`` when ``worker`` dispatches chunk ``ordinal``."""
+        event = FaultEvent(kind, seconds=seconds, times=times)
+        with self._lock:
+            self._events[(int(worker), int(ordinal))] = event
+        return self
+
+    def take(self, worker: int, ordinal: int) -> FaultEvent | None:
+        """Consume and return the event for this dispatch, if any."""
+        key = (int(worker), int(ordinal))
+        with self._lock:
+            event = self._events.get(key)
+            if event is None:
+                return None
+            event.times -= 1
+            if event.times <= 0:
+                del self._events[key]
+            self._fired.append((key[0], key[1], event.kind))
+            return event
+
+    @property
+    def fired(self) -> list[tuple[int, int, str]]:
+        """``(worker, ordinal, kind)`` for every event that has fired."""
+        with self._lock:
+            return list(self._fired)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+    def __bool__(self) -> bool:  # a drained plan is still a plan
+        return True
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        *,
+        workers: int,
+        chunks: int,
+        kinds: tuple[str, ...] = ("kill", "hang", "torn_frame"),
+        events: int = 1,
+        hang_seconds: float = 3600.0,
+    ) -> "FaultPlan":
+        """A reproducible plan with ``events`` faults drawn from ``kinds``.
+
+        Targets are drawn without replacement from the ``workers x chunks``
+        grid, so two events never collide on the same dispatch.
+        """
+        if workers < 1 or chunks < 1:
+            raise ValueError("need at least one worker and one chunk")
+        rng = random.Random(seed)
+        grid = [(w, c) for w in range(workers) for c in range(chunks)]
+        events = min(events, len(grid))
+        plan = cls()
+        for worker, ordinal in rng.sample(grid, events):
+            kind = rng.choice(list(kinds))
+            seconds = hang_seconds if kind == "hang" else 0.0
+            plan.add(worker, ordinal, kind, seconds=seconds)
+        return plan

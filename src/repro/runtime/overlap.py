@@ -136,6 +136,17 @@ class prefetch(Iterator[T]):
                 raise item.exc
             return item
 
+    @property
+    def closed(self) -> bool:
+        """True once close() ran (or the stream was exhausted).
+
+        The shard pool's recovery supervisor uses this to tell "source
+        drained normally" from "pool shut down underneath the run": both
+        surface as ``StopIteration`` to the consumer, but only the former
+        means every chunk was dispatched.
+        """
+        return self._finished
+
     def close(self) -> None:
         """Stop the producer promptly and release the worker thread.
 

@@ -20,9 +20,24 @@ stays bounded by the chunk itself, not the register file.
 
 Lifecycle: the pool is a context manager; ``close()`` is deterministic
 (EOF-then-reap with a bounded SIGKILL fallback, so an abandoned mid-trace
-run cannot hang shutdown); a crashed worker is detected via the framed
-protocol's EOF, reported with its exit status, and **replaced** by a
-fresh fork from the parent's current state.
+run cannot hang shutdown).
+
+Failure model: a dead worker surfaces as EOF on the framed protocol; a
+*hung* worker is caught by the parent-side watchdog (heartbeat frames
+from a worker-side thread, plus per-``recv`` deadlines) and SIGKILLed so
+it surfaces the same way.  During ``map_streams`` both are **recovered
+from transparently**: chunks ride a bounded ack window, so on a crash
+the pool re-forks a replacement from the parent's pipelines — which the
+eagerly-applied state deltas hold at exactly the last *acked* chunk —
+replays the sent-but-unacked chunks, and continues; merged results are
+bit-identical to an unfaulted run.  A chunk that kills its worker
+repeatedly raises a typed :class:`~repro.runtime.health.PoisonChunk`;
+when replacements keep dying (or fork itself fails) the pool *degrades*
+instead, scoring the shard's remaining chunks in the parent process.
+Every failure and recovery action is counted on
+:attr:`ShardPool.health` (a :class:`~repro.runtime.health.PoolHealth`)
+— the only place a survived crash is visible.  Deterministic crash
+schedules for tests come from :mod:`repro.runtime.faults`.
 """
 
 from __future__ import annotations
@@ -32,7 +47,9 @@ import queue
 import signal
 import sys
 import threading
-from typing import Iterable, Iterator, Sequence
+import time
+from collections import deque
+from typing import Callable, Iterable, Iterator, Sequence
 
 from ..pisa.pipeline import TaurusPipeline
 from .executors import (
@@ -41,6 +58,8 @@ from .executors import (
     WorkerCrash,
     WorkerDispatchError,
 )
+from .faults import FAULT_REQUEST, FaultPlan
+from .health import PoisonChunk, PoolError, PoolHealth
 from .overlap import prefetch
 
 __all__ = [
@@ -214,9 +233,21 @@ class _ForkSlot:
     would deadlock.  Responses are read by the pool's collectors.
     """
 
-    def __init__(self, context, extra_close_fds: Sequence[int]):
+    def __init__(
+        self,
+        context,
+        extra_close_fds: Sequence[int],
+        *,
+        heartbeat_interval: float | None = None,
+        index: int | None = None,
+    ):
         self.context = context
-        self.worker = ForkWorker(context, extra_close_fds=extra_close_fds)
+        self.worker = ForkWorker(
+            context,
+            extra_close_fds=extra_close_fds,
+            heartbeat_interval=heartbeat_interval,
+            index=index,
+        )
         self._requests: queue.Queue = queue.Queue()
         self._closing = False
         self._writer = threading.Thread(
@@ -271,19 +302,23 @@ class _ForkSlot:
         """Queue a request stream for the writer (returns immediately)."""
         self._requests.put(stream)
 
-    def recv(self):
-        return self.worker.recv()
+    def recv(self, hang_timeout: float | None = None):
+        return self.worker.recv(hang_timeout)
 
     def close(self, timeout: float) -> None:
+        # One end-to-end budget across every join/reap stage — a slot
+        # with a wedged writer AND a stuck child must not spend the full
+        # timeout once per stage.
+        deadline = time.monotonic() + timeout
         self._closing = True
         self._requests.put(_SHUTDOWN)
-        self._writer.join(timeout)
+        self._writer.join(max(0.0, deadline - time.monotonic()))
         if self._writer.is_alive():
             # Writer is wedged in a pipe write (child mid-chunk, buffer
             # full).  Killing the child EPIPEs the write and frees it.
             self.worker.reap(0.0)
-            self._writer.join(timeout)
-        self.worker.close(timeout)
+            self._writer.join(max(0.0, deadline - time.monotonic()))
+        self.worker.close(max(0.0, deadline - time.monotonic()))
 
 
 class _ThreadSlot:
@@ -341,8 +376,17 @@ class _ThreadSlot:
     def submit(self, stream: Iterable[tuple[str, object]]) -> None:
         self._requests.put(stream)
 
-    def recv(self):
-        status, payload = self._responses.get()
+    def recv(self, hang_timeout: float | None = None):
+        # Threads cannot be SIGKILLed, so ``hang_timeout`` is accepted
+        # for interface parity but a stuck handler can only be unblocked
+        # by close() (which aborts the stream in-band).  The get itself
+        # polls in bounded slices rather than parking forever.
+        while True:
+            try:
+                status, payload = self._responses.get(timeout=0.5)
+                break
+            except queue.Empty:
+                continue
         if status == "abort":
             raise WorkerDispatchError(f"dispatch failed: {payload}")
         if not status:
@@ -353,6 +397,99 @@ class _ThreadSlot:
         self._closing = True
         self._requests.put(_SHUTDOWN)
         self._worker.join(timeout)
+
+
+# ----------------------------------------------------------------------
+# Crash-transparent dispatch (one supervisor per shard)
+# ----------------------------------------------------------------------
+class _ShardRun:
+    """Supervisor state for one worker's stream during a recovering run.
+
+    ``pending`` is the single source of truth for sent-but-unacked
+    chunks — bounded by the pool window, so a crash can only ever force
+    a window's worth of replay.  ``results`` is indexed by chunk ordinal
+    so replayed chunks land back in their original slot.
+    """
+
+    def __init__(self, pool: "ShardPool", index: int, source, count: int):
+        self.pool = pool
+        self.index = index
+        self.source = source  # shared prefetch iterator, owned by the run
+        self.count = count
+        self.results: list = [None] * count
+        self.pending: deque = deque()  # (ordinal, kind, payload)
+        self.cv = threading.Condition()
+        self.next_ordinal = 0
+        self.collected = 0
+        self.error: BaseException | None = None
+
+    def wrap(self, ordinal: int, kind: str, payload):
+        """Attach an injected fault to this dispatch, if one is scheduled."""
+        faults = self.pool.faults
+        if faults is not None:
+            event = faults.take(self.index, ordinal)
+            if event is not None:
+                return (FAULT_REQUEST, (event.wire(), (kind, payload)))
+        return (kind, payload)
+
+    def ack(self) -> tuple[int, str, object]:
+        """Pop the pending head (the chunk this response answers)."""
+        with self.cv:
+            entry = self.pending.popleft()
+            self.cv.notify_all()
+        return entry
+
+
+class _WindowStream:
+    """One dispatch attempt for a shard: replay first, then windowed sends.
+
+    Submitted to a :class:`_ForkSlot`'s writer thread.  Re-sends the
+    chunks the previous attempt had sent but not acked (already in
+    ``run.pending``), then pulls fresh chunks from the shared source,
+    gated so at most ``window`` chunks are ever in flight.  The
+    supervisor marks the attempt ``dead`` on a crash; a dead attempt
+    stops yielding promptly, parking any already-pulled chunk in
+    ``pending`` for the next attempt to replay.  Exactly one attempt
+    pulls from the source at a time — the supervisor retires the old
+    slot (joining its writer) before submitting a new attempt.
+    """
+
+    def __init__(self, run: _ShardRun):
+        self.run = run
+        with run.cv:
+            self._replay = list(run.pending)
+        self.dead = False
+
+    def __iter__(self) -> "_WindowStream":
+        return self
+
+    def __next__(self) -> tuple[str, object]:
+        run = self.run
+        if self.dead:
+            raise StopIteration
+        if self._replay:
+            ordinal, kind, payload = self._replay.pop(0)
+            return run.wrap(ordinal, kind, payload)
+        with run.cv:
+            while len(run.pending) >= run.pool.window and not self.dead:
+                run.cv.wait(0.05)
+        if self.dead:
+            raise StopIteration
+        kind, payload = next(run.source)  # StopIteration ends the attempt
+        with run.cv:
+            ordinal = run.next_ordinal
+            run.next_ordinal += 1
+            # Append BEFORE the writer sends: once the bytes are on the
+            # pipe the ack can race back, and it pops the pending head.
+            run.pending.append((ordinal, kind, payload))
+        if self.dead:
+            # A crash raced the pull: leave the chunk parked in pending
+            # (the next attempt replays it) and stop without sending.
+            raise StopIteration
+        return run.wrap(ordinal, kind, payload)
+
+    def close(self) -> None:
+        """No-op: the run owns the source; attempts must not close it."""
 
 
 # ----------------------------------------------------------------------
@@ -372,9 +509,34 @@ class ShardPool:
         ``auto`` (fork where available) | ``fork`` | ``thread``.
     window:
         Staging depth of the per-worker dispatch stream (2 = classic
-        double buffering: chunk ``k+1`` ships while ``k`` scores).
+        double buffering: chunk ``k+1`` ships while ``k`` scores).  Also
+        bounds how many sent-but-unacked chunks a crash can force the
+        pool to replay.
     close_timeout:
         Per-worker bound on graceful shutdown before SIGKILL.
+    heartbeat_interval:
+        Cadence of worker-side heartbeat frames (fork mode).  ``None``
+        disables heartbeats — then only the coarser no-frames watchdog
+        rule can catch a hang.
+    hang_timeout:
+        Watchdog deadline: a single request in flight longer than this
+        (per a heartbeat), or a response pipe silent for this long, gets
+        the worker SIGKILLed and recovered like a crash.  Individual
+        chunks must score well inside this bound.  ``None`` disables the
+        watchdog.
+    max_chunk_retries:
+        Crashes attributed to one chunk before it is declared a
+        :class:`~repro.runtime.health.PoisonChunk`.
+    max_worker_crashes:
+        Crashes of one slot within a single run before the pool stops
+        re-forking and degrades that shard to in-parent scoring.
+    retry_backoff:
+        Base of the exponential pause before re-forking a replacement
+        (doubles per consecutive crash, capped at 1 s).
+    faults:
+        Optional :class:`~repro.runtime.faults.FaultPlan` consulted at
+        every chunk dispatch (fork mode only) — deterministic failure
+        injection for tests.
     """
 
     def __init__(
@@ -383,14 +545,33 @@ class ShardPool:
         mode: str = "auto",
         window: int = 2,
         close_timeout: float = 5.0,
+        *,
+        heartbeat_interval: float | None = 0.2,
+        hang_timeout: float | None = 30.0,
+        max_chunk_retries: int = 3,
+        max_worker_crashes: int = 5,
+        retry_backoff: float = 0.05,
+        faults: FaultPlan | None = None,
     ):
         if not contexts:
             raise ValueError("a pool needs at least one worker context")
         if window <= 0:
             raise ValueError("window must be positive")
         self.mode = resolve_pool_mode(mode)
+        if faults is not None and self.mode != "fork":
+            raise ValueError(
+                "fault injection requires fork mode: thread workers share "
+                "the parent process and cannot be killed or torn"
+            )
         self.window = window
         self.close_timeout = close_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.hang_timeout = hang_timeout
+        self.max_chunk_retries = max_chunk_retries
+        self.max_worker_crashes = max_worker_crashes
+        self.retry_backoff = retry_backoff
+        self.faults = faults
+        self.health = PoolHealth.for_pool(len(contexts))
         self.contexts = list(contexts)
         self._closed = False
         self._lock = threading.Lock()
@@ -429,7 +610,14 @@ class ShardPool:
         for slot in self._slots:
             if isinstance(slot, _ForkSlot) and slot.alive:
                 sibling_fds.extend(slot.worker.parent_fds)
-        return _ForkSlot(self.contexts[index], extra_close_fds=sibling_fds)
+        return _ForkSlot(
+            self.contexts[index],
+            extra_close_fds=sibling_fds,
+            heartbeat_interval=(
+                self.heartbeat_interval if self.mode == "fork" else None
+            ),
+            index=index,
+        )
 
     def restart(self, index: int) -> None:
         """Replace worker ``index`` with a fresh spawn from the parent's
@@ -439,6 +627,7 @@ class ShardPool:
         self._slots[index].close(self.close_timeout)
         if not self._closed:
             self._slots[index] = self._spawn(index)
+            self.health.worker(index).restarts += 1
 
     def close(self) -> None:
         """Deterministic shutdown, safe under an abandoned mid-trace run.
@@ -499,16 +688,22 @@ class ShardPool:
         self._slots[index].submit([(kind, payload)])
 
     def collect(self, index: int):
-        """The next response from worker ``index`` (blocking, in order)."""
-        return self._slots[index].recv()
+        """The next response from worker ``index`` (blocking, in order).
+
+        Bounded by the pool's ``hang_timeout``: a worker that dies or
+        stalls mid-request surfaces as :class:`WorkerCrash` instead of
+        parking the caller on the pipe forever.
+        """
+        return self._slots[index].recv(self.hang_timeout)
 
     def broadcast(self, kind: str, payloads=None) -> list:
         """One request per worker; returns the per-worker responses.
 
         ``payloads`` is either one payload per worker or a single shared
-        payload (including None).  Failures follow :meth:`map_streams`'s
+        payload (including None).  Failures follow the non-recovering
         contract: every healthy worker still drains, crashed workers are
-        replaced, and one ``RuntimeError`` reports the lot.
+        replaced for the next run, and one typed
+        :class:`~repro.runtime.health.PoolError` reports the lot.
         """
         self._check_open()
         if isinstance(payloads, (list, tuple)) and len(payloads) == self.shards:
@@ -523,8 +718,19 @@ class ShardPool:
         self._heal_and_raise(errors)
         return [results[index][0] for index in range(self.shards)]
 
+    def _note_crash(self, index: int, exc: WorkerCrash) -> None:
+        """Record a worker death on the health surface."""
+        worker_health = self.health.worker(index)
+        if exc.hung:
+            worker_health.hangs += 1
+        else:
+            worker_health.crashes += 1
+        worker_health.last_error = str(exc)
+
     def _drain_all(
-        self, live: Sequence[tuple[int, int]]
+        self,
+        live: Sequence[tuple[int, int]],
+        on_result: Callable[[int, int, object], None] | None = None,
     ) -> tuple[dict[int, list], dict[int, BaseException]]:
         """Collect ``count`` responses per live worker, concurrently.
 
@@ -538,16 +744,29 @@ class ShardPool:
 
         def drain(index: int, count: int) -> None:
             slot = self._slots[index]
-            for __ in range(count):
+            for ordinal in range(count):
                 try:
-                    results[index].append(slot.recv())
-                except (WorkerCrash, WorkerDispatchError) as exc:
+                    response = slot.recv(self.hang_timeout)
+                except WorkerCrash as exc:
                     # Nothing more will arrive from this worker: the
-                    # child died, or the dispatch stream stopped short.
+                    # child died (or the watchdog killed it).
+                    self._note_crash(index, exc)
+                    errors[index] = exc
+                    return
+                except WorkerDispatchError as exc:
+                    # The dispatch stream stopped short; the worker is
+                    # healthy but this run cannot complete.
                     errors[index] = exc
                     return
                 except BaseException as exc:
                     errors.setdefault(index, exc)
+                    continue
+                results[index].append(response)
+                if on_result is not None:
+                    try:
+                        on_result(index, ordinal, response)
+                    except BaseException as exc:
+                        errors.setdefault(index, exc)
 
         collectors = [
             threading.Thread(
@@ -558,7 +777,11 @@ class ShardPool:
         for thread in collectors:
             thread.start()
         for thread in collectors:
-            thread.join()
+            # Bounded join slices: each collector is guaranteed to finish
+            # (recv has a deadline in fork mode, close() aborts thread
+            # slots in-band), but no single join call parks unbounded.
+            while thread.is_alive():
+                thread.join(1.0)
         return results, errors
 
     # ------------------------------------------------------------------
@@ -594,7 +817,13 @@ class ShardPool:
             return None
 
     def _heal_and_raise(self, errors: dict[int, BaseException]) -> None:
-        """Replace crashed workers, then raise one aggregated report."""
+        """Replace crashed workers, then raise one typed report.
+
+        A lone :class:`~repro.runtime.health.PoolError` subclass (e.g. a
+        :class:`~repro.runtime.health.PoisonChunk`) propagates as itself;
+        anything else aggregates into a :class:`PoolError` whose
+        ``worker_errors`` maps worker index to the original exception.
+        """
         if not errors:
             return
         details = []
@@ -605,11 +834,22 @@ class ShardPool:
                 details.append(f"{exc} [worker replaced]")
             else:
                 details.append(str(exc))
-        raise RuntimeError("shard pool run failed: " + "; ".join(details))
+        if len(errors) == 1:
+            (only,) = errors.values()
+            if isinstance(only, PoolError):
+                raise only
+        raise PoolError(
+            "shard pool run failed: " + "; ".join(details),
+            worker_errors=errors,
+        )
 
     def map_streams(
         self,
         streams: Sequence[tuple[Iterator[tuple[str, object]], int] | None],
+        *,
+        on_result: Callable[[int, int, object], None] | None = None,
+        degrade: Callable[[int, str, object], object] | None = None,
+        recover: bool | None = None,
     ) -> list[list]:
         """Pipelined dispatch of one request stream per worker.
 
@@ -620,16 +860,38 @@ class ShardPool:
         shipping, and scoring overlap per worker and workers run
         concurrently.  Responses return per worker **in request order**.
 
-        A crashed worker fails the run: every healthy worker still
-        drains, the dead one is replaced (fresh fork from the parent's
-        current context), and a ``RuntimeError`` naming pid and exit
-        status raises.
+        ``on_result(index, ordinal, response)`` fires for every response
+        as it is acked (one caller thread per worker).  Stateful callers
+        use it to apply state deltas *eagerly*, which is what lets a
+        crash replacement re-fork from the parent at exactly the
+        last-acked chunk.
+
+        With ``recover`` (default in fork mode) a crashed or hung worker
+        is **invisible to the caller**: the pool re-forks a replacement
+        from the parent's context, replays the sent-but-unacked chunks,
+        and merges bit-identical results — only
+        :attr:`~ShardPool.health` shows the event.  A chunk that kills
+        its worker more than ``max_chunk_retries`` times raises
+        :class:`~repro.runtime.health.PoisonChunk`; past
+        ``max_worker_crashes`` (or a failed re-fork) the shard degrades
+        to in-parent scoring via ``degrade(index, kind, payload)`` (or
+        the parent context itself when no callable is given).
+
+        Without recovery (thread mode, or ``recover=False``) a crashed
+        worker fails the run: every healthy worker still drains, the
+        dead one is replaced for the next run, and one typed
+        :class:`~repro.runtime.health.PoolError` reports the lot.
         """
         self._check_open()
         if len(streams) != self.shards:
             raise ValueError(
                 f"got {len(streams)} streams for {self.shards} workers"
             )
+        if recover is None:
+            recover = self.mode == "fork"
+        if recover and self.mode == "fork":
+            return self._map_streams_recovering(streams, on_result, degrade)
+
         live: list[tuple[int, int]] = []  # (worker index, expected count)
         staged: list = []
         for index, entry in enumerate(streams):
@@ -651,7 +913,7 @@ class ShardPool:
             self._slots[index].submit(stream)
             live.append((index, count))
 
-        results, errors = self._drain_all(live)
+        results, errors = self._drain_all(live, on_result)
         for stream in staged:
             stream.close()
             with self._lock:
@@ -661,3 +923,230 @@ class ShardPool:
         return [
             results.get(index, []) for index in range(self.shards)
         ]
+
+    def _map_streams_recovering(
+        self,
+        streams: Sequence[tuple[Iterator[tuple[str, object]], int] | None],
+        on_result: Callable[[int, int, object], None] | None,
+        degrade: Callable[[int, str, object], object] | None,
+    ) -> list[list]:
+        """The fork-mode dispatch path with per-shard crash recovery."""
+        runs: list[_ShardRun] = []
+        staged: list = []
+        for index, entry in enumerate(streams):
+            if entry is None:
+                continue
+            stream, count = entry
+            if count <= 0:
+                continue
+            source = prefetch(stream, depth=self.window)
+            with self._lock:
+                if self._closed:
+                    source.close()
+                    for other in staged:
+                        other.close()
+                    raise RuntimeError("pool is closed")
+                self._active_streams.append(source)
+            staged.append(source)
+            runs.append(_ShardRun(self, index, source, count))
+
+        supervisors = [
+            threading.Thread(
+                target=self._supervise,
+                args=(run, on_result, degrade),
+                name=f"pool-supervise-{run.index}",
+            )
+            for run in runs
+        ]
+        for thread in supervisors:
+            thread.start()
+        for thread in supervisors:
+            # Bounded slices; supervisors always terminate (recv has the
+            # watchdog deadline, degraded mode runs in-process).
+            while thread.is_alive():
+                thread.join(1.0)
+        for source in staged:
+            source.close()
+            with self._lock:
+                if source in self._active_streams:
+                    self._active_streams.remove(source)
+        errors = {
+            run.index: run.error for run in runs if run.error is not None
+        }
+        self._heal_and_raise(errors)
+        out: list[list] = [[] for __ in range(self.shards)]
+        for run in runs:
+            out[run.index] = run.results
+        return out
+
+    def _supervise(
+        self,
+        run: _ShardRun,
+        on_result: Callable[[int, int, object], None] | None,
+        degrade: Callable[[int, str, object], object] | None,
+    ) -> None:
+        """Drain one shard's responses, recovering from worker deaths.
+
+        Each response acks the pending head (responses arrive in request
+        order).  On a crash: blame the pending head (the chunk the
+        worker was holding), re-fork a replacement from the parent's
+        last-acked state, replay the window, and continue — escalating
+        to :class:`PoisonChunk` or degraded in-parent scoring when the
+        crash budget runs out.
+        """
+        index = run.index
+        crashes_this_run = 0
+        retries: dict[int, int] = {}
+        attempt = _WindowStream(run)
+        self._slots[index].submit(attempt)
+        try:
+            while run.collected < run.count:
+                try:
+                    response = self._slots[index].recv(self.hang_timeout)
+                except WorkerCrash as exc:
+                    attempt.dead = True
+                    with run.cv:
+                        run.cv.notify_all()
+                    exc.last_acked = (
+                        run.collected - 1 if run.collected else None
+                    )
+                    self._note_crash(index, exc)
+                    if self._closed:
+                        run.error = exc
+                        return
+                    crashes_this_run += 1
+                    head = (
+                        run.pending[0][0] if run.pending else run.next_ordinal
+                    )
+                    retries[head] = retries.get(head, 0) + 1
+                    if retries[head] > self.max_chunk_retries:
+                        run.error = PoisonChunk(index, head, retries[head])
+                        try:
+                            self.restart(index)  # keep the pool usable
+                        except OSError:
+                            pass
+                        return
+                    if crashes_this_run > self.max_worker_crashes:
+                        self._degrade_shard(run, attempt, degrade, on_result)
+                        return
+                    time.sleep(min(
+                        1.0,
+                        self.retry_backoff * (2 ** (crashes_this_run - 1)),
+                    ))
+                    try:
+                        self.restart(index)
+                    except OSError as fork_exc:
+                        self.health.worker(index).last_error = (
+                            f"respawn failed: {fork_exc}"
+                        )
+                        self._degrade_shard(run, attempt, degrade, on_result)
+                        return
+                    with run.cv:
+                        replay = len(run.pending)
+                    self.health.worker(index).replayed_chunks += replay
+                    attempt = _WindowStream(run)
+                    self._slots[index].submit(attempt)
+                    continue
+                except WorkerDispatchError as exc:
+                    # The caller's stream raised mid-dispatch.  The worker
+                    # is healthy and in sync (every sent chunk was acked
+                    # before the echoed abort); the run just can't finish.
+                    run.error = exc
+                    return
+                except RuntimeError as exc:
+                    # In-band handler failure: the conversation is still
+                    # in sync, so this *is* the ack for the pending head.
+                    # Record the first error and keep draining.
+                    run.ack()
+                    run.collected += 1
+                    if run.error is None:
+                        run.error = exc
+                    continue
+                ordinal, __, __ = run.ack()
+                run.results[ordinal] = response
+                run.collected += 1
+                if on_result is not None:
+                    try:
+                        on_result(index, ordinal, response)
+                    except BaseException as exc:
+                        if run.error is None:
+                            run.error = exc
+        except BaseException as exc:  # never strand map_streams' join
+            run.error = exc
+        finally:
+            attempt.dead = True
+            with run.cv:
+                run.cv.notify_all()
+
+    def _degrade_shard(
+        self,
+        run: _ShardRun,
+        attempt: _WindowStream,
+        degrade: Callable[[int, str, object], object] | None,
+        on_result: Callable[[int, int, object], None] | None,
+    ) -> None:
+        """Score the shard's remaining chunks in the parent process.
+
+        Last-resort path when replacements keep dying or fork itself
+        fails.  The parent's context sits at the last-acked chunk (the
+        eager delta application keeps it there), so executing the
+        pending window plus the rest of the stream inline yields exactly
+        the results a healthy worker would have produced — the shard
+        just loses its parallelism, counted per chunk on the health
+        surface.
+        """
+        index = run.index
+        attempt.dead = True
+        with run.cv:
+            run.cv.notify_all()
+        # Retire the dead slot first: close() joins its writer thread,
+        # so nothing else is pulling from the shared source below.
+        self._slots[index].close(self.close_timeout)
+        worker_health = self.health.worker(index)
+
+        def execute(ordinal: int, kind: str, payload) -> None:
+            if degrade is not None:
+                response = degrade(index, kind, payload)
+            else:
+                # Without a caller-provided fallback the parent context
+                # executes the request directly — exact for stateless
+                # kinds (e.g. "score"); stateful callers pass `degrade`
+                # so deltas aren't double-applied.
+                response = self.contexts[index].handle(kind, payload)
+            run.results[ordinal] = response
+            run.collected += 1
+            worker_health.degraded_chunks += 1
+            if on_result is not None:
+                on_result(index, ordinal, response)
+
+        try:
+            with run.cv:
+                backlog = list(run.pending)
+                run.pending.clear()
+            for ordinal, kind, payload in backlog:
+                execute(ordinal, kind, payload)
+            while run.collected < run.count:
+                if self._closed:
+                    run.error = PoolError("pool closed during degraded run")
+                    return
+                try:
+                    kind, payload = next(run.source)
+                except StopIteration:
+                    run.error = PoolError(
+                        f"stream for worker {index} ended after "
+                        f"{run.collected} of {run.count} responses"
+                    )
+                    return
+                ordinal = run.next_ordinal
+                run.next_ordinal += 1
+                execute(ordinal, kind, payload)
+        except BaseException as exc:
+            run.error = exc
+        finally:
+            # Leave the pool usable for the next run if we can.
+            if not self._closed:
+                try:
+                    self._slots[index] = self._spawn(index)
+                    worker_health.restarts += 1
+                except OSError:
+                    pass

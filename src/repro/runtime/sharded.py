@@ -256,6 +256,12 @@ class ShardedRuntime:
         chunks to long-lived workers instead of forking per call — same
         merged results, no per-run setup.  Close the runtime (context
         manager or :meth:`close`) when a pool is attached.
+    pool_options:
+        Extra keyword arguments for the
+        :class:`~repro.runtime.pool.ShardPool` (``window``,
+        ``hang_timeout``, ``heartbeat_interval``, ``max_worker_crashes``,
+        ``faults``, ...) — the fault-tolerance knobs, and the seam the
+        failure-injection tests use.
     """
 
     def __init__(
@@ -265,6 +271,7 @@ class ShardedRuntime:
         executor: str = "auto",
         chunk_size: int = DEFAULT_TRACE_CHUNK,
         pool: bool | str = False,
+        pool_options: dict | None = None,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
@@ -300,11 +307,21 @@ class ShardedRuntime:
             # rewind point and per-run resets ship zero payload.
             for context in contexts:
                 context.handle("mark", None)
-            self.pool = ShardPool(contexts, mode=mode)
+            self.pool = ShardPool(contexts, mode=mode, **(pool_options or {}))
+        elif pool_options:
+            raise ValueError("pool_options requires pool=True")
 
     # ------------------------------------------------------------------
     # Pool lifecycle
     # ------------------------------------------------------------------
+    @property
+    def pool_health(self):
+        """The pool's :class:`~repro.runtime.health.PoolHealth` counters
+        (crashes, hangs, restarts, replayed/degraded chunks) — the only
+        place a transparently recovered worker failure is visible.
+        ``None`` without a pool."""
+        return None if self.pool is None else self.pool.health
+
     def close(self) -> None:
         """Shut the attached worker pool down (no-op without one)."""
         if self.pool is not None:
@@ -408,9 +425,15 @@ class ShardedRuntime:
         ``process_trace_batch`` would apply) and sliced into chunks; the
         pool stages and ships chunk ``k+1`` while the worker scores ``k``.
         Per-chunk responses carry incremental state deltas in fork mode,
-        so this process's pipelines end the run exactly where the workers
-        did — results and merged state are bit/stat-identical to the
-        task-per-run path.
+        applied here **as each chunk is acked** — so this process's
+        pipelines track the workers chunk by chunk, which is both what
+        keeps merged state bit/stat-identical to the task-per-run path
+        and what lets the pool recover a crashed worker transparently
+        (a replacement re-forks from these pipelines, held at exactly
+        the last acked chunk; see :meth:`ShardPool.map_streams`).  If a
+        shard's workers cannot be kept alive at all, ``degrade`` scores
+        its remaining chunks on the parent pipeline directly — same
+        results, no parallelism, counted on :attr:`pool_health`.
         """
         if self.shards == 1:
             # No partition/merge, but still chunk-pipelined to the worker.
@@ -430,8 +453,30 @@ class ShardedRuntime:
             n_chunks = -(-sub.n // chunk) if sub.n else 0
             streams.append((self._chunk_requests(sub, chunk, want_delta), n_chunks))
 
+        def apply_delta(shard: int, __ordinal: int, response) -> None:
+            # Ack callback: land each chunk's incremental delta the
+            # moment it is acked (one supervisor thread per shard; each
+            # touches only its own pipeline, so no lock is needed).
+            __, delta = response
+            if delta is not None:
+                self.pipelines[shard].apply_state_delta(delta)
+
+        def degrade(shard: int, kind: str, payload):
+            # In-parent fallback: the parent pipeline already sits at the
+            # last acked chunk, so scoring continues on it directly.
+            # delta=None — the state change happened in this process.
+            if kind != "chunk":
+                raise RuntimeError(f"cannot degrade request kind {kind!r}")
+            chunk_columns, __ = payload
+            result = self.pipelines[shard].process_trace_batch(
+                chunk_columns, chunk_size=max(chunk_columns.n, 1)
+            )
+            return (result, None)
+
         try:
-            responses = self.pool.map_streams(streams)
+            responses = self.pool.map_streams(
+                streams, on_result=apply_delta, degrade=degrade
+            )
         except RuntimeError:
             # A failed run may have applied some worker chunks but not
             # their deltas here; pull full snapshots so this process's
@@ -439,14 +484,10 @@ class ShardedRuntime:
             # workers instead of silently drifting on the next run.
             self._resync_from_pool()
             raise
-        results: list[TracePipelineResult] = []
-        for shard, shard_responses in enumerate(responses):
-            pieces = []
-            for result, delta in shard_responses:
-                if delta is not None:
-                    self.pipelines[shard].apply_state_delta(delta)
-                pieces.append(result)
-            results.append(concat_results(pieces))
+        results: list[TracePipelineResult] = [
+            concat_results([result for result, __ in shard_responses])
+            for shard_responses in responses
+        ]
         self.last_drain_ns = self._drain_ns(before)
         if self.shards == 1:
             self._last_turn = self.pipelines[0].arbiter._turn

@@ -122,6 +122,11 @@ class TaurusDataPlane:
         every result bit/stat-identical to the fork-per-run path.  Use
         the data plane as a context manager (or call :meth:`close`) to
         shut pools down deterministically.
+    pool_options:
+        Extra keyword arguments forwarded to every
+        :class:`~repro.runtime.ShardPool` this data plane builds
+        (``hang_timeout``, ``max_chunk_retries``, ``faults``, ...).
+        Requires ``pool=True``.
     """
 
     def __init__(
@@ -132,15 +137,19 @@ class TaurusDataPlane:
         overlap: bool = True,
         executor: str = "auto",
         pool: bool = False,
+        pool_options: dict | None = None,
     ):
         if shards <= 0:
             raise ValueError("shards must be positive")
+        if pool_options and not pool:
+            raise ValueError("pool_options requires pool=True")
         self.quantized = quantized
         self.threshold = threshold
         self.shards = shards
         self.overlap = overlap
         self.executor = executor
         self.pool = bool(pool)
+        self.pool_options = pool_options
         self._pool_runtime: ShardedRuntime | None = None
         self._pool_fabrics: dict[tuple, MultiAppFabric] = {}
         self.block = MapReduceBlock(dnn_graph(quantized, name="anomaly_dnn"))
@@ -195,8 +204,22 @@ class TaurusDataPlane:
                 shards=self.shards,
                 executor=self.executor,
                 pool=True,
+                pool_options=self.pool_options,
             )
         return self._pool_runtime
+
+    @property
+    def pool_health(self):
+        """Crash/recovery counters of the warm pools (``None`` until built).
+
+        Returns the :class:`~repro.runtime.PoolHealth` of the sharded
+        runtime behind ``run``/``run_switch``/``verify_equivalence``.
+        Fabric pools built by :meth:`run_multi` report their own health
+        via ``last_fabric.pool_health``.
+        """
+        if self._pool_runtime is None:
+            return None
+        return self._pool_runtime.pool_health
 
     def close(self) -> None:
         """Shut down every persistent pool this data plane spawned."""
@@ -435,6 +458,7 @@ class TaurusDataPlane:
                     chunk_size=chunk_size,
                     policy=policy,
                     pool=True,
+                    pool_options=self.pool_options,
                 )
                 self._pool_fabrics[key] = fabric
             else:

@@ -527,8 +527,37 @@ class TestForkLint:
         src = "def close(self):\n    self._t.join(timeout=1.0)\n"
         assert lint_source(src) == []
 
-    def test_join_outside_close_path_clean(self):
+    def test_join_outside_close_path_flagged(self):
+        # An untimed join outside a close path can park a supervision
+        # loop forever on a stuck worker; it must be bounded.
         src = "def collect(self):\n    self._t.join()\n"
+        diags = lint_source(src)
+        assert _ids(diags) == {"rt-unbounded-recv"}
+        assert diags[0].severity == Severity.WARNING
+
+    def test_bounded_join_outside_close_path_clean(self):
+        src = "def collect(self):\n    self._t.join(1.0)\n"
+        assert lint_source(src) == []
+
+    def test_unbounded_recv_trigger(self):
+        src = "def collect(self):\n    return self.worker.recv()\n"
+        assert _ids(lint_source(src)) == {"rt-unbounded-recv"}
+
+    def test_unbounded_recv_flagged_even_on_close_path(self):
+        # recv() has no close-path exemption: a dead worker never
+        # answers, whatever phase the caller is in.
+        src = "def close(self):\n    return self.worker.recv()\n"
+        assert "rt-unbounded-recv" in _ids(lint_source(src))
+
+    def test_bounded_recv_clean(self):
+        src = "def collect(self):\n    return self.worker.recv(30.0)\n"
+        assert lint_source(src) == []
+
+    def test_recv_keyword_timeout_clean(self):
+        src = (
+            "def collect(self):\n"
+            "    return self.worker.recv(hang_timeout=30.0)\n"
+        )
         assert lint_source(src) == []
 
     def test_string_join_not_flagged(self):

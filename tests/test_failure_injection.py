@@ -3,10 +3,19 @@
 The paper argues the data plane must stay correct under hostile or
 degenerate conditions; these tests stress the substrates the same way:
 saturating inputs, adversarial flows, register collisions, queue overflow,
-and mid-stream weight swaps.
+and mid-stream weight swaps — and, for the worker pool, deterministic
+crash injection: seeded :class:`~repro.runtime.FaultPlan` kill / hang /
+torn-frame events must leave pooled runs **bit-identical** to the
+unfaulted oracle, with the damage visible only on the pool's health
+surface (plus the poison-chunk and degraded-mode escape hatches when
+recovery cannot help).
 """
 
+import os
+
 import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.datasets import DNN_FEATURES
 from repro.fixpoint import FIX8
@@ -18,6 +27,31 @@ from repro.pisa import (
     PacketQueue,
     TaurusPipeline,
 )
+from repro.runtime import (
+    FaultEvent,
+    FaultPlan,
+    PoisonChunk,
+    PoolError,
+    ShardPool,
+    ShardedRuntime,
+)
+
+from test_shard_runtime import (
+    _assert_equivalent,
+    _oracle,
+    _pipeline,
+    _random_columns,
+    _reset,
+)
+
+HAS_FORK = hasattr(os, "fork")
+fork_only = pytest.mark.skipif(not HAS_FORK, reason="fault injection needs fork")
+
+#: Watchdog knobs fast enough for tests: chunks score in milliseconds,
+#: so a 0.75 s deadline with 0.1 s heartbeats catches injected hangs
+#: quickly without ever tripping on real work.
+FAST_WATCHDOG = {"hang_timeout": 0.75, "heartbeat_interval": 0.1,
+                 "retry_backoff": 0.01}
 
 
 class TestSaturatingInputs:
@@ -125,3 +159,319 @@ class TestDegenerateWorkloads:
         ds = generate_connections(5, seed=5)
         trace = expand_to_packets(ds, max_packets=1, seed=5)
         assert len(trace) == 1
+
+
+# ---------------------------------------------------------------------------
+# Crash-transparent pool runs (deterministic fault injection)
+# ---------------------------------------------------------------------------
+
+MAX_FAULT_SHARDS = 4
+
+
+@pytest.fixture(scope="module")
+def blocks(quantized_dnn):
+    """Oracle block + one per shard, all identically configured."""
+    return [
+        MapReduceBlock(dnn_graph(quantized_dnn))
+        for _ in range(MAX_FAULT_SHARDS + 1)
+    ]
+
+
+def _pooled_runtime(blocks, shards, pool_options=None):
+    for block in blocks[1 : shards + 1]:
+        _reset(block)
+    return ShardedRuntime(
+        lambda i: _pipeline(blocks[i + 1], slots=16, tables=True),
+        shards=shards,
+        executor="serial",
+        pool="fork",
+        pool_options=pool_options,
+    )
+
+
+class _Echo:
+    """Minimal pool context for pool-level fault tests."""
+
+    def handle(self, kind, payload):
+        return payload
+
+
+class TestFaultPlan:
+    """The plan itself: validation, consumption, seeded sampling."""
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("segfault")
+
+    def test_times_must_be_positive(self):
+        with pytest.raises(ValueError):
+            FaultEvent("kill", times=0)
+
+    def test_events_consume_per_take(self):
+        plan = FaultPlan().add(0, 1, "kill").add(1, 0, "delay", seconds=0.1)
+        assert len(plan) == 2
+        assert plan.take(0, 1).kind == "kill"
+        assert plan.take(0, 1) is None  # consumed
+        assert plan.take(0, 0) is None  # never armed
+        assert plan.take(1, 0).seconds == 0.1
+        assert plan.fired == [(0, 1, "kill"), (1, 0, "delay")]
+
+    def test_times_replays_the_same_event(self):
+        plan = FaultPlan().add(0, 2, "kill", times=3)
+        assert all(plan.take(0, 2) is not None for _ in range(3))
+        assert plan.take(0, 2) is None
+
+    def test_random_is_deterministic_and_in_grid(self):
+        a = FaultPlan.random(99, workers=4, chunks=8, events=5)
+        b = FaultPlan.random(99, workers=4, chunks=8, events=5)
+        assert len(a) == len(b) == 5
+        assert sorted(a._events) == sorted(b._events)
+        for (worker, ordinal), event in a._events.items():
+            assert 0 <= worker < 4 and 0 <= ordinal < 8
+            assert event.kind in ("kill", "hang", "torn_frame")
+
+
+@fork_only
+class TestCrashTransparentRuns:
+    """The tentpole contract: a mid-run worker failure is invisible to
+    the caller — results, stats, and merged state are bit-identical to
+    an unfaulted run, and the crash shows up only in ``pool.health``."""
+
+    @pytest.mark.parametrize("kind", ["kill", "torn_frame"])
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_single_crash_identity(self, blocks, shards, kind):
+        plan = FaultPlan().add(1, 1, kind)
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, shards, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=101, n=150)
+            )
+            health = runtime.pool_health
+            assert plan.fired == [(1, 1, kind)]
+            assert health.worker(1).crashes == 1
+            assert health.worker(1).restarts >= 1
+            assert health.replayed_chunks >= 1
+            assert runtime.pool.alive() == [True] * shards
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_hang_identity(self, blocks, shards):
+        """A hung worker is killed by the watchdog (heartbeats report it
+        stuck mid-request) and recovered exactly like a crash."""
+        plan = FaultPlan().add(0, 1, "hang")  # sleeps "forever"
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, shards, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=102, n=150)
+            )
+            health = runtime.pool_health
+            assert health.worker(0).hangs == 1
+            assert health.crashes == 0  # a hang is not an exit
+            assert runtime.pool.alive() == [True] * shards
+
+    def test_delay_fault_is_benign(self, blocks):
+        """``delay`` shifts timing without breaking anything — the
+        negative control for the watchdog (no kill below the deadline)."""
+        plan = FaultPlan().add(0, 0, "delay", seconds=0.2)
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, 2, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=103, n=100)
+            )
+            assert runtime.pool_health.healthy
+            assert runtime.pool_health.crashes == 0
+
+    def test_crash_on_first_and_last_chunk(self, blocks):
+        """Boundary ordinals: death before any ack and death on the
+        final chunk both recover (nothing-acked and everything-acked
+        replay windows)."""
+        plan = FaultPlan().add(0, 0, "kill").add(1, 3, "torn_frame")
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, 2, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=104, n=150)
+            )
+            assert runtime.pool_health.crashes == len(plan.fired)
+
+    def test_back_to_back_runs_after_recovery(self, blocks):
+        """A recovered pool keeps accumulating state correctly: the run
+        *after* the crash still matches the oracle chunk-delta for
+        chunk-delta."""
+        plan = FaultPlan().add(0, 1, "kill")
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, 2, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            for seed in (105, 106, 107):
+                _assert_equivalent(
+                    oracle, runtime, _random_columns(seed=seed, n=90)
+                )
+            assert runtime.pool_health.crashes == 1  # only the injected one
+
+    @settings(
+        max_examples=5,
+        deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        shards=st.sampled_from([1, 2, 4]),
+    )
+    def test_random_fault_plans_identity(self, blocks, seed, shards):
+        """Property: *any* seeded plan of kill/hang/torn-frame events is
+        invisible in the results."""
+        plan = FaultPlan.random(seed, workers=shards, chunks=3, events=2)
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, shards, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=seed % 1000, n=150)
+            )
+            health = runtime.pool_health
+            # Consumed events bound observed failures from above: an
+            # event wrapped onto a chunk headed for an already-dying
+            # worker is consumed but never executes.
+            assert health.crashes + health.hangs <= len(plan.fired)
+            if plan.fired:
+                assert health.crashes + health.hangs >= 1
+
+
+@fork_only
+class TestPoisonChunkAndDegradedMode:
+    """The escape hatches when replay cannot converge."""
+
+    def test_poison_chunk_raises_typed_error(self):
+        # The same chunk kills every replacement: after
+        # ``max_chunk_retries`` replays the pool must stop blaming the
+        # worker and indict the chunk.
+        plan = FaultPlan().add(0, 1, "kill", times=10)
+        pool = ShardPool(
+            [_Echo(), _Echo()], mode="fork",
+            max_chunk_retries=2, retry_backoff=0.01, faults=plan,
+        )
+        try:
+            streams = [
+                (iter([("echo", i) for i in range(3)]), 3) for _ in range(2)
+            ]
+            with pytest.raises(PoisonChunk) as info:
+                pool.map_streams(streams)
+            assert isinstance(info.value, PoolError)
+            assert info.value.worker_index == 0
+            assert info.value.ordinal == 1
+            assert "refusing further replay" in str(info.value)
+            # The pool survives the indictment: both workers live, and a
+            # fault-free run still completes.
+            assert pool.alive() == [True, True]
+            assert pool.map_streams(
+                [(iter([("echo", 7)]), 1), (iter([("echo", 8)]), 1)]
+            ) == [[7], [8]]
+        finally:
+            pool.close()
+
+    def test_repeated_crashes_degrade_to_in_parent_scoring(self, blocks):
+        """Past ``max_worker_crashes`` the shard falls back to scoring
+        in the parent — slower, still bit-identical, and counted on the
+        health surface."""
+        # ``times=2`` guarantees a second death whether or not the first
+        # attempt had already shipped chunk 2 to the dying worker (a
+        # consumed-but-never-executed event does not re-fire on replay).
+        plan = FaultPlan().add(0, 1, "kill").add(0, 2, "kill", times=2)
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, 2,
+            pool_options=dict(FAST_WATCHDOG, faults=plan, max_worker_crashes=1),
+        )
+        with runtime:
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=108, n=150)
+            )
+            health = runtime.pool_health
+            assert health.worker(0).degraded_chunks >= 1
+            assert health.degraded
+            # The shard was re-forked after the degraded run: the pool
+            # still serves (and accumulates) follow-up runs exactly.
+            _assert_equivalent(
+                oracle, runtime, _random_columns(seed=109, n=90)
+            )
+
+    def test_fork_failure_degrades_instead_of_failing(self, blocks):
+        """If re-forking a replacement itself fails (fd/memory pressure),
+        the run still completes in-parent rather than erroring out."""
+        plan = FaultPlan().add(0, 1, "kill")
+        oracle = _oracle(blocks, slots=16, tables=True)
+        runtime = _pooled_runtime(
+            blocks, 2, pool_options=dict(FAST_WATCHDOG, faults=plan)
+        )
+        with runtime:
+            original_spawn = runtime.pool._spawn
+
+            def failing_spawn(index):
+                raise OSError("fork: resource temporarily unavailable")
+
+            runtime.pool._spawn = failing_spawn
+            try:
+                _assert_equivalent(
+                    oracle, runtime, _random_columns(seed=110, n=150)
+                )
+            finally:
+                runtime.pool._spawn = original_spawn
+            assert runtime.pool_health.worker(0).degraded_chunks >= 1
+
+
+class TestFaultConfigValidation:
+    def test_thread_mode_rejects_faults(self):
+        with pytest.raises(ValueError, match="fault injection requires fork"):
+            ShardPool([_Echo()], mode="thread", faults=FaultPlan())
+
+    def test_pool_options_require_pool(self, quantized_dnn):
+        from repro.testbed import TaurusDataPlane
+
+        with pytest.raises(ValueError, match="pool_options requires pool"):
+            TaurusDataPlane(quantized_dnn, pool_options={"hang_timeout": 1.0})
+
+
+@fork_only
+class TestDataPlaneCrashTransparency:
+    """End-to-end: an injected worker death inside ``run_switch`` is
+    invisible in the detection result."""
+
+    def test_run_switch_with_injected_kill(self, quantized_dnn):
+        from repro.datasets import expand_to_packets, generate_connections
+        from repro.testbed import TaurusDataPlane
+
+        ds = generate_connections(150, anomaly_fraction=0.5, seed=6)
+        trace = expand_to_packets(ds, max_packets=1200, seed=6)
+
+        plain = TaurusDataPlane(quantized_dnn, shards=2, executor="fork")
+        expected = plain.run_switch(trace, chunk_size=64)
+
+        plan = FaultPlan().add(0, 1, "kill")
+        with TaurusDataPlane(
+            quantized_dnn, shards=2, executor="fork", pool=True,
+            pool_options=dict(FAST_WATCHDOG, faults=plan),
+        ) as faulted:
+            got = faulted.run_switch(trace, chunk_size=64)
+            assert faulted.pool_health.crashes == 1
+            again = faulted.run_switch(trace, chunk_size=64)
+
+        for name in ("detected_percent", "false_positive_rate",
+                     "added_latency_ns", "n_packets"):
+            expect = getattr(expected, name, None)
+            if expect is None:
+                continue
+            assert getattr(got, name) == expect, name
+            assert getattr(again, name) == expect, name
