@@ -143,6 +143,10 @@ CHECKS: dict[str, CheckSpec] = {
         _spec("rt-unbounded-recv", Severity.WARNING, "fork-safety",
               "recv() with no timeout (or join() with no timeout outside a "
               "close path) parks the caller forever if the worker dies"),
+        _spec("rt-unbounded-queue", Severity.WARNING, "fork-safety",
+              "queue.Queue() with no maxsize (or put() with no timeout) "
+              "turns overload into unbounded memory growth or a parked "
+              "producer"),
     ]
 }
 

@@ -31,6 +31,15 @@ are caught in CI rather than as hangs and leaked fds:
     supervision loops must stay interruptible, so joins there must be
     bounded (loop on ``join(t)`` + ``is_alive()`` to wait indefinitely
     but interruptibly).
+``rt-unbounded-queue``
+    The serving loop's boundedness discipline, machine-enforced: a
+    ``queue.Queue()`` constructed without a ``maxsize`` grows with
+    offered load until the process dies, and a ``put()`` with no timeout
+    (and not ``block=False``) parks its caller forever once a bounded
+    queue fills against a dead consumer.  Every queue in the runtime
+    must carry a cap and every blocking put a deadline
+    (``queue.SimpleQueue`` cannot be bounded at all, so it is always
+    flagged).
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records with
 file/line provenance.  Suppress a finding by appending ``# noqa`` (all
@@ -134,6 +143,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         if fn.name in CLOSE_PATH_NAMES:
             _lint_close_joins(fn, calls, report)
         _lint_unbounded_recv(fn, calls, report)
+        _lint_unbounded_queue(fn, calls, resolved, report)
     return diags
 
 
@@ -258,6 +268,80 @@ def _lint_unbounded_recv(fn, calls, report) -> None:
                 f"{fn.name}() joins a thread without a timeout outside a "
                 "close path; loop on join(t)/is_alive() so the wait stays "
                 "interruptible",
+                call.lineno,
+            )
+
+
+#: Queue factories that accept a ``maxsize`` bound.
+_BOUNDABLE_QUEUES = frozenset(
+    {
+        "queue.Queue",
+        "queue.LifoQueue",
+        "queue.PriorityQueue",
+        "multiprocessing.Queue",
+        "multiprocessing.JoinableQueue",
+    }
+)
+
+
+def _lint_unbounded_queue(fn, calls, resolved, report) -> None:
+    """Flag queues without a size bound and puts without a deadline.
+
+    Bounded queues are the serving loop's backpressure primitive; an
+    unbounded one silently converts overload into memory growth.  A
+    blocking ``put()`` with no timeout is the dual failure: once the
+    queue *is* bounded, a dead consumer parks the producer forever.
+    ``put_nowait`` / ``put(..., block=False)`` / ``put(..., timeout=t)``
+    are all fine.
+    """
+    for call, name in resolved:
+        if name in _BOUNDABLE_QUEUES:
+            bounded = bool(call.args) or any(
+                kw.arg == "maxsize" for kw in call.keywords
+            )
+            if not bounded:
+                report(
+                    "rt-unbounded-queue", Severity.WARNING,
+                    f"{fn.name}() builds {name.rsplit('.', 1)[-1]}() with no "
+                    "maxsize; offered load grows it without bound — cap it",
+                    call.lineno,
+                )
+        elif name in ("queue.SimpleQueue", "multiprocessing.SimpleQueue"):
+            report(
+                "rt-unbounded-queue", Severity.WARNING,
+                f"{fn.name}() builds SimpleQueue(), which cannot be "
+                "bounded; use Queue(maxsize=...) instead",
+                call.lineno,
+            )
+    for call in calls:
+        if not (
+            isinstance(call.func, ast.Attribute) and call.func.attr == "put"
+        ):
+            continue
+        # put(item, block=True, timeout=None): bounded iff a timeout is
+        # given (positionally or by keyword) or block is False.
+        has_timeout = len(call.args) >= 3 or any(
+            kw.arg == "timeout" and not (
+                isinstance(kw.value, ast.Constant) and kw.value.value is None
+            )
+            for kw in call.keywords
+        )
+        nonblocking = (
+            len(call.args) >= 2
+            and isinstance(call.args[1], ast.Constant)
+            and call.args[1].value is False
+        ) or any(
+            kw.arg == "block"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is False
+            for kw in call.keywords
+        )
+        if not (has_timeout or nonblocking):
+            report(
+                "rt-unbounded-queue", Severity.WARNING,
+                f"{fn.name}() calls put() with no timeout; a dead consumer "
+                "parks this producer on a full queue forever — pass "
+                "timeout= or block=False",
                 call.lineno,
             )
 

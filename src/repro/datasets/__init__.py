@@ -12,6 +12,7 @@ from .iot import (
     IOT_CLUSTER_FEATURES,
     iot_binary_dataset,
     iot_cluster_dataset,
+    iot_packet_trace,
 )
 from .nslkdd import (
     ATTACK_CLASSES,
@@ -41,6 +42,7 @@ __all__ = [
     "IOT_CLUSTER_FEATURES",
     "iot_binary_dataset",
     "iot_cluster_dataset",
+    "iot_packet_trace",
     "ATTACK_CLASSES",
     "DNN_FEATURES",
     "FEATURE_NAMES",

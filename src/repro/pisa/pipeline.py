@@ -47,6 +47,7 @@ __all__ = [
     "DECISION_DROP",
     "DECISION_FLAG",
     "DEFAULT_TRACE_CHUNK",
+    "action_postprocess",
     "port_bypass",
     "threshold_postprocess",
 ]
@@ -86,6 +87,30 @@ def threshold_postprocess(
 
     def batch(values: np.ndarray) -> np.ndarray:
         return np.where(values[:, 0] >= threshold, DECISION_FLAG, DECISION_FORWARD)
+
+    return scalar, batch
+
+
+def action_postprocess(
+    component: int = 0,
+) -> tuple[Callable[[np.ndarray], int], Callable[[np.ndarray], np.ndarray]]:
+    """A matched (scalar, vectorized) pair passing a fabric output through.
+
+    For apps whose fabric output *is* the decision code — an argmax action
+    index (the congestion LSTM), a nearest-centroid cluster id (the IoT
+    KMeans) — the postprocess just reads output ``component`` as an int.
+    Like :func:`threshold_postprocess` and :func:`port_bypass`, the pair
+    is built together so the per-packet and batched paths cannot drift,
+    and installing both keeps trace-scale runs off the per-row fallback
+    loop.
+    """
+    component = int(component)
+
+    def scalar(value: np.ndarray) -> int:
+        return int(np.atleast_1d(value)[component])
+
+    def batch(values: np.ndarray) -> np.ndarray:
+        return values[:, component].astype(np.int64)
 
     return scalar, batch
 

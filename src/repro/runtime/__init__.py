@@ -10,6 +10,10 @@ amortize per-run setup across consecutive runs.  Pool runs are
 crash-transparent: heartbeats and a watchdog detect dead or hung
 workers, replacements replay unacknowledged chunks, and deterministic
 fault injection (:class:`FaultPlan`) exercises those paths in tests.
+:class:`InferenceService` turns the pool-backed runtimes into an
+always-on serving loop with explicit admission control, per-client
+bounded queues, token-bucket rate limiting, overload policies, and
+per-request time-to-decision accounting.
 """
 
 from .executors import (
@@ -36,6 +40,18 @@ from .pool import (
     PipelineShardWorker,
     ShardPool,
     resolve_pool_mode,
+)
+from .service import (
+    ACCEPTED,
+    DEFERRED,
+    OVERLOAD_POLICIES,
+    SHED,
+    Admission,
+    ClientSpec,
+    InferenceService,
+    ServiceResult,
+    ServiceStats,
+    VirtualClock,
 )
 from .sharded import (
     ShardedRuntime,
@@ -71,6 +87,16 @@ __all__ = [
     "PipelineShardWorker",
     "ShardPool",
     "resolve_pool_mode",
+    "ACCEPTED",
+    "DEFERRED",
+    "SHED",
+    "OVERLOAD_POLICIES",
+    "Admission",
+    "ClientSpec",
+    "InferenceService",
+    "ServiceResult",
+    "ServiceStats",
+    "VirtualClock",
     "ShardedRuntime",
     "as_trace_columns",
     "concat_results",

@@ -239,12 +239,9 @@ class FabricApp:
         pass through as the decision code.
         """
         from ..mapreduce.frontend import lstm_graph
+        from ..pisa.pipeline import action_postprocess
 
-        def action_scalar(value: np.ndarray) -> int:
-            return int(np.atleast_1d(value)[0])
-
-        def action_batch(values: np.ndarray) -> np.ndarray:
-            return values[:, 0].astype(np.int64)
+        action_scalar, action_batch = action_postprocess()
 
         return cls(
             name=name,
@@ -258,6 +255,47 @@ class FabricApp:
             slots=slots,
             postprocess=action_scalar,
             postprocess_batch=action_batch,
+        )
+
+    @classmethod
+    def from_kmeans(
+        cls,
+        kmeans,
+        feature_names: tuple[str, ...] | None = None,
+        name: str = "iot",
+        weight: float = 1.0,
+        slots: int | None = None,
+    ) -> "FabricApp":
+        """A nearest-centroid classifier app (the IoT-classification shape).
+
+        The fabric's output is the cluster index, passed through as the
+        decision code by the shared
+        :func:`~repro.pisa.pipeline.action_postprocess` pair — both
+        execution paths stay vectorized, no per-row fallback.
+        """
+        from ..mapreduce.frontend import kmeans_graph
+        from ..pisa.pipeline import action_postprocess
+
+        if kmeans.centroids is None:
+            raise ValueError("KMeans must be fitted before deployment")
+        scalar_post, batch_post = action_postprocess()
+        if feature_names is None:
+            from ..datasets import IOT_CLUSTER_FEATURES
+
+            feature_names = IOT_CLUSTER_FEATURES
+        dim = kmeans.centroids.shape[1]
+        if len(feature_names) != dim:
+            raise ValueError(
+                f"model consumes {dim} features, got {len(feature_names)} names"
+            )
+        return cls(
+            name=name,
+            graph=kmeans_graph(kmeans, name=f"{name}_kmeans"),
+            feature_names=tuple(feature_names),
+            weight=weight,
+            slots=slots,
+            postprocess=scalar_post,
+            postprocess_batch=batch_post,
         )
 
 

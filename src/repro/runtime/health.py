@@ -115,6 +115,54 @@ class PoolHealth:
     def reset(self) -> None:
         self.workers = [WorkerHealth(index=w.index) for w in self.workers]
 
+    def snapshot(self) -> "PoolHealth":
+        """Deep copy of the current counters (a point-in-time window mark).
+
+        Counters on a live pool accumulate across runs; re-forking just to
+        zero them would defeat the point of a warm pool.  A service that
+        reports per-interval stats instead marks a window with
+        ``snapshot()`` and later diffs against it with :meth:`since`.
+        """
+        return PoolHealth(
+            workers=[
+                WorkerHealth(
+                    index=w.index,
+                    crashes=w.crashes,
+                    hangs=w.hangs,
+                    restarts=w.restarts,
+                    replayed_chunks=w.replayed_chunks,
+                    degraded_chunks=w.degraded_chunks,
+                    last_error=w.last_error,
+                )
+                for w in self.workers
+            ]
+        )
+
+    def since(self, baseline: "PoolHealth") -> "PoolHealth":
+        """Per-worker counter deltas accumulated after ``baseline``.
+
+        ``baseline`` is a prior :meth:`snapshot` of the same pool.  Workers
+        the baseline does not know about (a pool resized between marks)
+        count from zero.
+        """
+        base = {w.index: w for w in baseline.workers}
+        zero = WorkerHealth(index=-1)
+        delta = []
+        for w in self.workers:
+            b = base.get(w.index, zero)
+            delta.append(
+                WorkerHealth(
+                    index=w.index,
+                    crashes=w.crashes - b.crashes,
+                    hangs=w.hangs - b.hangs,
+                    restarts=w.restarts - b.restarts,
+                    replayed_chunks=w.replayed_chunks - b.replayed_chunks,
+                    degraded_chunks=w.degraded_chunks - b.degraded_chunks,
+                    last_error=w.last_error if w.last_error != b.last_error else "",
+                )
+            )
+        return PoolHealth(workers=delta)
+
     def summary(self) -> str:
         return (
             f"crashes={self.crashes} hangs={self.hangs} restarts={self.restarts} "

@@ -77,6 +77,30 @@ POOL_MODES = ("auto", "fork", "thread")
 #: Sentinel asking a slot's writer/worker thread to exit.
 _SHUTDOWN = object()
 
+#: Hard cap on per-slot request/response queues.  Real depth is tiny (one
+#: stream per run plus a shutdown sentinel; responses ride the ack
+#: window), so the cap never throttles a healthy pool — it exists so a
+#: pathological caller fails loudly instead of growing memory unboundedly.
+_SLOT_QUEUE_DEPTH = 64
+
+
+def _bounded_put(q: "queue.Queue", item, give_up) -> bool:
+    """Put in bounded slices; gives up (returns False) when told to.
+
+    The lint discipline (``rt-unbounded-queue``) bans both unbounded
+    queues and puts that can park forever on a full one: retrying in
+    timed slices keeps the writer interruptible while ``give_up()``
+    decides when waiting stops making sense (close deadline passed,
+    receiver gone).
+    """
+    while True:
+        try:
+            q.put(item, timeout=0.1)
+            return True
+        except queue.Full:
+            if give_up():
+                return False
+
 
 def resolve_pool_mode(mode: str) -> str:
     """Map a pool-mode request to the concrete strategy for this host."""
@@ -248,7 +272,7 @@ class _ForkSlot:
             heartbeat_interval=heartbeat_interval,
             index=index,
         )
-        self._requests: queue.Queue = queue.Queue()
+        self._requests: queue.Queue = queue.Queue(maxsize=_SLOT_QUEUE_DEPTH)
         self._closing = False
         self._writer = threading.Thread(
             target=self._pump, name=f"pool-writer-{self.worker.pid}",
@@ -266,7 +290,12 @@ class _ForkSlot:
 
     def _pump(self) -> None:
         while True:
-            item = self._requests.get()
+            try:
+                item = self._requests.get(timeout=0.5)
+            except queue.Empty:
+                if self._closing:
+                    return  # sentinel lost to a full queue; exit anyway
+                continue
             if item is _SHUTDOWN:
                 return
             stream = item
@@ -300,7 +329,7 @@ class _ForkSlot:
 
     def submit(self, stream: Iterable[tuple[str, object]]) -> None:
         """Queue a request stream for the writer (returns immediately)."""
-        self._requests.put(stream)
+        _bounded_put(self._requests, stream, give_up=lambda: self._closing)
 
     def recv(self, hang_timeout: float | None = None):
         return self.worker.recv(hang_timeout)
@@ -311,7 +340,10 @@ class _ForkSlot:
         # timeout once per stage.
         deadline = time.monotonic() + timeout
         self._closing = True
-        self._requests.put(_SHUTDOWN)
+        _bounded_put(
+            self._requests, _SHUTDOWN,
+            give_up=lambda: time.monotonic() >= deadline,
+        )
         self._writer.join(max(0.0, deadline - time.monotonic()))
         if self._writer.is_alive():
             # Writer is wedged in a pipe write (child mid-chunk, buffer
@@ -333,8 +365,8 @@ class _ThreadSlot:
 
     def __init__(self, context, index: int):
         self.context = context
-        self._requests: queue.Queue = queue.Queue()
-        self._responses: queue.Queue = queue.Queue()
+        self._requests: queue.Queue = queue.Queue(maxsize=_SLOT_QUEUE_DEPTH)
+        self._responses: queue.Queue = queue.Queue(maxsize=_SLOT_QUEUE_DEPTH)
         self._closing = False
         self._worker = threading.Thread(
             target=self._run, name=f"pool-thread-{index}", daemon=True
@@ -347,7 +379,12 @@ class _ThreadSlot:
 
     def _run(self) -> None:
         while True:
-            item = self._requests.get()
+            try:
+                item = self._requests.get(timeout=0.5)
+            except queue.Empty:
+                if self._closing:
+                    return  # sentinel lost to a full queue; exit anyway
+                continue
             if item is _SHUTDOWN:
                 return
             try:
@@ -356,25 +393,31 @@ class _ThreadSlot:
                         # A collector may be waiting on the undelivered
                         # remainder of this stream; wake it with an abort
                         # (the fork path's EOF → WorkerCrash equivalent).
-                        self._responses.put(("abort", "pool closed"))
+                        self._post(("abort", "pool closed"))
                         break
                     try:
-                        self._responses.put(
+                        self._post(
                             (True, self.context.handle(kind, payload))
                         )
                     except BaseException as exc:
-                        self._responses.put(
+                        self._post(
                             (False, f"{type(exc).__name__}: {exc}")
                         )
             except BaseException as exc:
                 # The stream's iterator raised: surface it as an abort so
                 # the collector unblocks, and keep the slot serving.
-                self._responses.put(
+                self._post(
                     ("abort", f"{type(exc).__name__}: {exc}")
                 )
 
+    def _post(self, item) -> None:
+        # Response consumers ride the bounded ack window, so the queue
+        # only fills when the collector abandoned the run — in which case
+        # close() is the only way out, and dropping is correct.
+        _bounded_put(self._responses, item, give_up=lambda: self._closing)
+
     def submit(self, stream: Iterable[tuple[str, object]]) -> None:
-        self._requests.put(stream)
+        _bounded_put(self._requests, stream, give_up=lambda: self._closing)
 
     def recv(self, hang_timeout: float | None = None):
         # Threads cannot be SIGKILLed, so ``hang_timeout`` is accepted
@@ -394,9 +437,13 @@ class _ThreadSlot:
         return payload
 
     def close(self, timeout: float) -> None:
+        deadline = time.monotonic() + timeout
         self._closing = True
-        self._requests.put(_SHUTDOWN)
-        self._worker.join(timeout)
+        _bounded_put(
+            self._requests, _SHUTDOWN,
+            give_up=lambda: time.monotonic() >= deadline,
+        )
+        self._worker.join(max(0.0, deadline - time.monotonic()))
 
 
 # ----------------------------------------------------------------------

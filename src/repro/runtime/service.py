@@ -1,0 +1,708 @@
+"""Always-on inference serving on the warm shard pool.
+
+PR 5–7 built a substrate that can score traces fast and survive its own
+workers dying; this module makes it *a service*.  The paper's end state is
+a switch that scores every packet forever, so the missing robustness layer
+is the one above the pool: staying correct and bounded when **load**
+misbehaves, not just when processes do.
+
+:class:`InferenceService` wraps a pool-backed runtime — a single-app
+:class:`~repro.runtime.sharded.ShardedRuntime` or a multi-tenant
+:class:`~repro.runtime.fabric.MultiAppFabric` — behind the four-gate
+surface of a serving loop:
+
+ingress
+    :meth:`InferenceService.submit` — producers hand in packet chunks.
+    Admission is **explicit**: every submit returns ``ACCEPTED``,
+    ``DEFERRED`` (rate-limited; carries a retry-after), or ``SHED``
+    (overload; dropped now) instead of ever blocking unboundedly.
+stream-results
+    :meth:`InferenceService.take_results` — per-client bounded result
+    buffers; every accepted request's fate (completed / expired /
+    evicted / failed) eventually appears exactly once.
+query-stats
+    :meth:`InferenceService.stats` / :meth:`InferenceService.interval_stats`
+    — cumulative and per-window counters (the window deltas ride on
+    :meth:`PoolHealth.snapshot`/:meth:`PoolHealth.since`, so a warm pool
+    reports per-interval health without re-forking).
+admin
+    :meth:`InferenceService.start` / :meth:`InferenceService.drain` /
+    :meth:`InferenceService.close` — lifecycle.  ``drain`` is the graceful
+    bounded shutdown: stop admitting, finish in-flight work, flush
+    results.
+
+Boundedness discipline
+----------------------
+Every buffer in the service has a hard cap: per-client ingress queues
+(``queue_depth``, with the overload policy deciding what happens at the
+cap), per-client result buffers (``result_depth``, oldest dropped and
+counted), and the latency reservoir (``latency_window``).  Nothing in
+this module grows with offered load.
+
+Determinism contract
+--------------------
+Admission is a pure function of (clock, arrival order, queue occupancy),
+so a seeded arrival schedule driven against a virtual ``clock=`` replays
+to the exact same decisions.  Scoring order is recorded on each completed
+result (``seq``), so an oracle runtime replaying the same chunks in
+``seq`` order reproduces every accepted chunk's result bit for bit — even
+when a :class:`~repro.runtime.faults.FaultPlan` is killing workers
+underneath, because pool recovery is itself result-transparent.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from .health import PoolError, PoolHealth
+from .sharded import as_trace_columns
+
+__all__ = [
+    "ACCEPTED",
+    "DEFERRED",
+    "SHED",
+    "OVERLOAD_POLICIES",
+    "Admission",
+    "ClientSpec",
+    "InferenceService",
+    "ServiceResult",
+    "ServiceStats",
+    "VirtualClock",
+]
+
+ACCEPTED = "accepted"
+DEFERRED = "deferred"
+SHED = "shed"
+
+#: What happens when a client's ingress queue is at ``queue_depth``:
+#: ``reject-new`` sheds the incoming request; ``drop-oldest`` evicts the
+#: queue head to make room (the evicted request's fate is delivered on the
+#: result stream); ``degrade-to-sampling`` keeps admitting up to
+#: ``2 * queue_depth`` but scores a deterministic row subsample (stride 2,
+#: then 4), shedding only at the hard cap.
+OVERLOAD_POLICIES = ("reject-new", "drop-oldest", "degrade-to-sampling")
+
+
+class VirtualClock:
+    """A manually advanced clock for deterministic replay and tests."""
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def __call__(self) -> float:
+        return self._now
+
+    def advance(self, dt: float) -> float:
+        if dt < 0:
+            raise ValueError("time cannot move backwards")
+        self._now += float(dt)
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        if t < self._now:
+            raise ValueError("time cannot move backwards")
+        self._now = float(t)
+        return self._now
+
+
+@dataclass(frozen=True)
+class Admission:
+    """The ingress gate's explicit verdict on one submit."""
+
+    status: str               # ACCEPTED | DEFERRED | SHED
+    request_id: int
+    client: str
+    reason: str = ""          # "rate-limited" | "queue-full" | "draining" | ""
+    retry_after_s: float = 0.0   # DEFERRED only: when the bucket refills
+    stride: int = 1           # >1: admitted degraded-to-sampling
+
+    @property
+    def accepted(self) -> bool:
+        return self.status == ACCEPTED
+
+
+@dataclass
+class ClientSpec:
+    """One tenant's admission contract.
+
+    ``rate``/``burst`` parameterize a token bucket in requests per second
+    (``rate=None`` disables rate limiting).  ``app`` binds the client to a
+    fabric app by name (required when the service wraps a
+    ``MultiAppFabric``; ignored for a single-app runtime).
+    ``deadline_s`` is the default per-request decision budget; a request
+    still queued past it is expired, not scored.
+    """
+
+    name: str
+    app: str | None = None
+    queue_depth: int = 8
+    rate: float | None = None
+    burst: float | None = None
+    deadline_s: float | None = None
+    result_depth: int | None = None   # default: 4 * queue_depth
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("clients need a name")
+        if self.queue_depth <= 0:
+            raise ValueError("queue_depth must be positive")
+        if self.rate is not None and self.rate <= 0:
+            raise ValueError("rate must be positive (or None)")
+        if self.burst is not None and self.burst <= 0:
+            raise ValueError("burst must be positive (or None)")
+        if self.result_depth is not None and self.result_depth <= 0:
+            raise ValueError("result_depth must be positive (or None)")
+
+
+@dataclass(frozen=True)
+class ServiceResult:
+    """One accepted request's fate, delivered on the stream-results gate.
+
+    ``status`` is ``"completed"`` (``result`` holds the per-chunk
+    :class:`~repro.pisa.pipeline.TracePipelineResult`), ``"expired"``
+    (deadline passed while queued; never scored), ``"evicted"``
+    (drop-oldest made room for a newer request), or ``"failed"`` (the
+    runtime raised; ``error`` carries the message).  ``seq`` is the global
+    scoring order — replaying completed chunks by ``seq`` through a fresh
+    runtime reproduces ``result`` exactly.
+    """
+
+    request_id: int
+    client: str
+    status: str
+    result: object = None
+    seq: int = -1
+    enqueued_at: float = 0.0
+    decided_at: float = 0.0
+    time_to_decision_s: float = 0.0
+    stride: int = 1
+    n_packets: int = 0
+    error: str = ""
+
+
+_COUNTERS = (
+    "submitted", "accepted", "deferred", "shed", "evicted", "completed",
+    "expired", "failed", "sampled", "late", "packets_in", "packets_out",
+    "results_dropped",
+)
+
+
+@dataclass
+class ServiceStats:
+    """Counter snapshot from the query-stats gate.
+
+    ``expired`` *is* the deadline-violation count (requests never scored);
+    ``late`` counts requests that completed after their deadline anyway.
+    ``pool`` carries the backing pool's :class:`PoolHealth` counters for
+    the same window (``None`` when the runtime is not pool-backed).
+    """
+
+    submitted: int = 0
+    accepted: int = 0
+    deferred: int = 0
+    shed: int = 0
+    evicted: int = 0
+    completed: int = 0
+    expired: int = 0
+    failed: int = 0
+    sampled: int = 0
+    late: int = 0
+    packets_in: int = 0
+    packets_out: int = 0
+    results_dropped: int = 0
+    p50_decision_s: float = float("nan")
+    p99_decision_s: float = float("nan")
+    queue_depths: dict[str, int] = field(default_factory=dict)
+    pool: PoolHealth | None = None
+
+    @property
+    def deadline_violations(self) -> int:
+        return self.expired
+
+    def summary(self) -> str:
+        lat = (
+            f"p50={self.p50_decision_s * 1e3:.2f}ms "
+            f"p99={self.p99_decision_s * 1e3:.2f}ms"
+            if self.completed
+            else "p50=? p99=?"
+        )
+        return (
+            f"accepted={self.accepted} deferred={self.deferred} "
+            f"shed={self.shed} completed={self.completed} "
+            f"expired={self.expired} {lat}"
+        )
+
+
+@dataclass
+class _Pending:
+    request_id: int
+    client: str
+    columns: object            # TraceColumns
+    stride: int
+    enqueued_at: float
+    deadline_at: float | None
+
+
+class _Bucket:
+    """Token bucket; refilled lazily from the service clock."""
+
+    def __init__(self, rate: float | None, burst: float | None, now: float):
+        self.rate = rate
+        self.burst = float(burst if burst is not None else max(1.0, rate or 1.0))
+        self.tokens = self.burst
+        self.stamp = now
+
+    def admit(self, now: float) -> tuple[bool, float]:
+        """(admitted, retry_after_s); consumes one token on admission."""
+        if self.rate is None:
+            return True, 0.0
+        self.tokens = min(self.burst, self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True, 0.0
+        return False, (1.0 - self.tokens) / self.rate
+
+
+class _ClientState:
+    def __init__(self, spec: ClientSpec, now: float):
+        self.spec = spec
+        self.queue: deque[_Pending] = deque()           # bounded by admission
+        depth = spec.result_depth or 4 * spec.queue_depth
+        self.results: deque[ServiceResult] = deque(maxlen=depth)
+        self.bucket = _Bucket(spec.rate, spec.burst, now)
+
+
+class InferenceService:
+    """The always-on serving loop over a pool-backed runtime.
+
+    ``backend`` is a ready :class:`ShardedRuntime` (single app: every
+    client scores through the same switch program and shared flow state,
+    in admission order) or a :class:`MultiAppFabric` (each client's
+    :attr:`ClientSpec.app` names its program; states stay per-app).  The
+    service does not rewind the backend between requests — state
+    accumulates across chunks exactly like a switch that never stops.
+
+    Two drive modes share all the logic:
+
+    * **manual** — call :meth:`pump` yourself; with a :class:`VirtualClock`
+      this is fully deterministic (the property tests and the oracle
+      replay use it);
+    * **threaded** — :meth:`start` spawns a dispatcher thread that pumps
+      whenever work is queued (the benchmark and real producers use it).
+
+    Admission takes only the service lock (never blocked by scoring), so
+    the ingress gate keeps answering while the pool recovers a crashed
+    worker mid-chunk.
+    """
+
+    def __init__(
+        self,
+        backend,
+        clients,
+        *,
+        overload: str = "reject-new",
+        chunk_size: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+        latency_window: int = 4096,
+        own_backend: bool = True,
+    ):
+        if overload not in OVERLOAD_POLICIES:
+            raise ValueError(
+                f"unknown overload policy {overload!r}; pick one of {OVERLOAD_POLICIES}"
+            )
+        self.backend = backend
+        self.overload = overload
+        self.chunk_size = chunk_size
+        self.clock = clock
+        self.own_backend = own_backend
+        self._is_fabric = hasattr(backend, "apps")
+        if self._is_fabric:
+            names = {app.name for app in backend.apps}
+            for spec in clients:
+                if spec.app is None:
+                    raise ValueError(f"client {spec.name!r} needs an app binding")
+                if spec.app not in names:
+                    raise ValueError(
+                        f"client {spec.name!r} bound to unknown app {spec.app!r}"
+                    )
+        now = clock()
+        self._clients: dict[str, _ClientState] = {}
+        for spec in clients:
+            if spec.name in self._clients:
+                raise ValueError(f"duplicate client {spec.name!r}")
+            self._clients[spec.name] = _ClientState(spec, now)
+        if not self._clients:
+            raise ValueError("at least one client is required")
+        self._order = list(self._clients)   # round-robin dispatch order
+        self._rr = 0
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._dispatch_lock = threading.Lock()
+        self._counts = dict.fromkeys(_COUNTERS, 0)
+        self._latencies: deque[float] = deque(maxlen=latency_window)
+        self._window_latencies: deque[float] = deque(maxlen=latency_window)
+        self._next_id = 0
+        self._seq = 0
+        self._draining = False
+        self._closed = False
+        self._thread: threading.Thread | None = None
+        self._window = self._mark_window()
+
+    # ------------------------------------------------------------------
+    # Gate 1: ingress
+    # ------------------------------------------------------------------
+    def submit(self, client: str, trace, deadline_s: float | None = None) -> Admission:
+        """Offer one packet chunk; returns the explicit admission verdict.
+
+        Never blocks on queue space or scoring: the caller always gets an
+        answer now, and backpressure is the answer (``DEFERRED`` with a
+        retry-after when rate-limited, ``SHED`` when the queue bound or
+        the drain gate says no).
+        """
+        columns = as_trace_columns(trace)
+        with self._lock:
+            state = self._clients.get(client)
+            if state is None:
+                raise KeyError(f"unknown client {client!r}")
+            now = self.clock()
+            rid = self._next_id
+            self._next_id += 1
+            self._counts["submitted"] += 1
+            if self._draining or self._closed:
+                self._counts["shed"] += 1
+                return Admission(SHED, rid, client, reason="draining")
+            ok, retry_after = state.bucket.admit(now)
+            if not ok:
+                self._counts["deferred"] += 1
+                return Admission(
+                    DEFERRED, rid, client,
+                    reason="rate-limited", retry_after_s=retry_after,
+                )
+            stride = 1
+            occ = len(state.queue)
+            depth = state.spec.queue_depth
+            if occ >= depth:
+                if self.overload == "reject-new":
+                    self._counts["shed"] += 1
+                    return Admission(SHED, rid, client, reason="queue-full")
+                if self.overload == "drop-oldest":
+                    oldest = state.queue.popleft()
+                    self._counts["evicted"] += 1
+                    self._deliver(
+                        state,
+                        ServiceResult(
+                            request_id=oldest.request_id,
+                            client=client,
+                            status="evicted",
+                            enqueued_at=oldest.enqueued_at,
+                            decided_at=now,
+                            time_to_decision_s=now - oldest.enqueued_at,
+                            stride=oldest.stride,
+                        ),
+                    )
+                else:  # degrade-to-sampling
+                    if occ >= 2 * depth:
+                        self._counts["shed"] += 1
+                        return Admission(SHED, rid, client, reason="queue-full")
+                    stride = 2 if occ < depth + (depth + 1) // 2 else 4
+                    self._counts["sampled"] += 1
+            budget = deadline_s if deadline_s is not None else state.spec.deadline_s
+            state.queue.append(
+                _Pending(
+                    request_id=rid,
+                    client=client,
+                    columns=columns,
+                    stride=stride,
+                    enqueued_at=now,
+                    deadline_at=None if budget is None else now + budget,
+                )
+            )
+            self._counts["accepted"] += 1
+            self._counts["packets_in"] += columns.n
+            self._work.notify_all()
+            return Admission(ACCEPTED, rid, client, stride=stride)
+
+    # ------------------------------------------------------------------
+    # Dispatch (manual pump or the dispatcher thread)
+    # ------------------------------------------------------------------
+    def pump(self, max_requests: int | None = None) -> int:
+        """Score up to ``max_requests`` queued requests; returns how many
+        were decided (scored, expired, or failed).
+
+        Clients are served round-robin in registration order, so dispatch
+        order — and therefore every completed result — is a deterministic
+        function of the admission sequence.
+        """
+        decided = 0
+        with self._dispatch_lock:
+            while max_requests is None or decided < max_requests:
+                with self._lock:
+                    picked = self._pop_next()
+                if picked is None:
+                    break
+                self._decide(picked)
+                decided += 1
+        return decided
+
+    def _pop_next(self) -> _Pending | None:
+        for step in range(len(self._order)):
+            state = self._clients[self._order[(self._rr + step) % len(self._order)]]
+            if state.queue:
+                self._rr = (self._rr + step + 1) % len(self._order)
+                return state.queue.popleft()
+        return None
+
+    def _decide(self, pending: _Pending) -> None:
+        state = self._clients[pending.client]
+        now = self.clock()
+        if pending.deadline_at is not None and now > pending.deadline_at:
+            with self._lock:
+                self._counts["expired"] += 1
+                self._deliver(
+                    state,
+                    ServiceResult(
+                        request_id=pending.request_id,
+                        client=pending.client,
+                        status="expired",
+                        enqueued_at=pending.enqueued_at,
+                        decided_at=now,
+                        time_to_decision_s=now - pending.enqueued_at,
+                        stride=pending.stride,
+                    ),
+                )
+            return
+        columns = pending.columns
+        if pending.stride > 1:
+            columns = columns.take(
+                np.arange(0, columns.n, pending.stride, dtype=np.int64)
+            )
+        try:
+            seq = self._seq
+            self._seq += 1
+            result = self._score(pending.client, columns)
+        except PoolError as exc:
+            with self._lock:
+                self._counts["failed"] += 1
+                self._deliver(
+                    state,
+                    ServiceResult(
+                        request_id=pending.request_id,
+                        client=pending.client,
+                        status="failed",
+                        seq=seq,
+                        enqueued_at=pending.enqueued_at,
+                        decided_at=self.clock(),
+                        stride=pending.stride,
+                        error=str(exc),
+                    ),
+                )
+            return
+        decided_at = self.clock()
+        ttd = decided_at - pending.enqueued_at
+        with self._lock:
+            self._counts["completed"] += 1
+            self._counts["packets_out"] += columns.n
+            if pending.deadline_at is not None and decided_at > pending.deadline_at:
+                self._counts["late"] += 1
+            self._latencies.append(ttd)
+            self._window_latencies.append(ttd)
+            self._deliver(
+                state,
+                ServiceResult(
+                    request_id=pending.request_id,
+                    client=pending.client,
+                    status="completed",
+                    result=result,
+                    seq=seq,
+                    enqueued_at=pending.enqueued_at,
+                    decided_at=decided_at,
+                    time_to_decision_s=ttd,
+                    stride=pending.stride,
+                    n_packets=columns.n,
+                ),
+            )
+
+    def _score(self, client: str, columns):
+        """One chunk through the backend (state carries over — always-on)."""
+        kwargs = {} if self.chunk_size is None else {"chunk_size": self.chunk_size}
+        if not self._is_fabric:
+            return self.backend.process_trace(columns, **kwargs)
+        app = self._clients[client].spec.app
+        empty = columns.slice(slice(0, 0))
+        traces = {a.name: (columns if a.name == app else empty)
+                  for a in self.backend.apps}
+        return self.backend.run(traces, **kwargs).results[app]
+
+    def _deliver(self, state: _ClientState, result: ServiceResult) -> None:
+        # deque(maxlen=) drops the head silently; count it first.
+        if len(state.results) == state.results.maxlen:
+            self._counts["results_dropped"] += 1
+        state.results.append(result)
+
+    # ------------------------------------------------------------------
+    # Gate 2: stream-results
+    # ------------------------------------------------------------------
+    def take_results(
+        self, client: str | None = None, max_items: int | None = None
+    ) -> list[ServiceResult]:
+        """Drain delivered results (one client, or all, in delivery order)."""
+        with self._lock:
+            names = [client] if client is not None else list(self._order)
+            out: list[ServiceResult] = []
+            for name in names:
+                state = self._clients.get(name)
+                if state is None:
+                    raise KeyError(f"unknown client {name!r}")
+                while state.results and (
+                    max_items is None or len(out) < max_items
+                ):
+                    out.append(state.results.popleft())
+            if client is None:
+                out.sort(key=lambda r: (r.decided_at, r.request_id))
+            return out
+
+    # ------------------------------------------------------------------
+    # Gate 3: query-stats
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        """Cumulative counters since construction."""
+        with self._lock:
+            return self._stats_locked(self._counts, list(self._latencies), None)
+
+    def interval_stats(self) -> ServiceStats:
+        """Counters accumulated since the previous ``interval_stats`` call.
+
+        The pool's per-window health rides on
+        :meth:`PoolHealth.snapshot`/:meth:`PoolHealth.since` — no re-fork,
+        no reset of the live counters.
+        """
+        with self._lock:
+            counts, pool_base = self._window
+            delta = {k: self._counts[k] - counts[k] for k in _COUNTERS}
+            window_lat = list(self._window_latencies)
+            self._window_latencies.clear()
+            health = self._pool_health()
+            pool = None
+            if health is not None:
+                pool = (
+                    health.since(pool_base)
+                    if pool_base is not None
+                    else health.snapshot()
+                )
+            self._window = self._mark_window()
+            return self._stats_locked(delta, window_lat, pool)
+
+    def _mark_window(self):
+        health = self._pool_health()
+        return (
+            dict(self._counts),
+            None if health is None else health.snapshot(),
+        )
+
+    def _pool_health(self) -> PoolHealth | None:
+        return getattr(self.backend, "pool_health", None)
+
+    def _stats_locked(self, counts, latencies, pool) -> ServiceStats:
+        p50 = p99 = float("nan")
+        if latencies:
+            p50 = float(np.percentile(latencies, 50))
+            p99 = float(np.percentile(latencies, 99))
+        if pool is None:
+            health = self._pool_health()
+            pool = None if health is None else health.snapshot()
+        return ServiceStats(
+            **{k: counts[k] for k in _COUNTERS},
+            p50_decision_s=p50,
+            p99_decision_s=p99,
+            queue_depths={
+                name: len(state.queue) for name, state in self._clients.items()
+            },
+            pool=pool,
+        )
+
+    # ------------------------------------------------------------------
+    # Gate 4: admin
+    # ------------------------------------------------------------------
+    def start(self) -> "InferenceService":
+        """Spawn the dispatcher thread (idempotent)."""
+        if self._closed:
+            raise RuntimeError("service is closed")
+        if self._thread is None or not self._thread.is_alive():
+            self._thread = threading.Thread(
+                target=self._serve_loop, name="inference-service", daemon=True
+            )
+            self._thread.start()
+        return self
+
+    def _serve_loop(self) -> None:
+        while True:
+            with self._work:
+                if self._closed and not self._queued_locked():
+                    return
+                if not self._queued_locked():
+                    # Bounded wait: re-checks closed/drain flags on a tick
+                    # even if a notify is lost.
+                    self._work.wait(timeout=0.05)
+                    if self._closed and not self._queued_locked():
+                        return
+            self.pump()
+
+    def _queued_locked(self) -> int:
+        return sum(len(state.queue) for state in self._clients.values())
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def drain(self, timeout: float = 30.0) -> ServiceStats:
+        """Graceful bounded shutdown of admission: stop admitting, finish
+        everything in flight, then report.  Results stay available on the
+        stream-results gate afterwards.
+
+        With no dispatcher thread running, pending work is pumped inline;
+        otherwise this waits (at most ``timeout`` seconds) for the thread
+        to empty the queues.
+        """
+        with self._lock:
+            self._draining = True
+            self._work.notify_all()
+            threaded = self._thread is not None and self._thread.is_alive()
+        if not threaded:
+            self.pump()
+        else:
+            deadline = time.monotonic() + timeout
+            while time.monotonic() < deadline:
+                with self._lock:
+                    if not self._queued_locked():
+                        break
+                time.sleep(0.005)
+            # One inline pump covers a dispatcher that died mid-drain.
+            self.pump()
+        return self.stats()
+
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain, stop the dispatcher, and (if owned) close the backend."""
+        if self._closed:
+            return
+        self.drain(timeout=timeout)
+        with self._lock:
+            self._closed = True
+            self._work.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+        if self.own_backend and hasattr(self.backend, "close"):
+            self.backend.close()
+
+    def __enter__(self) -> "InferenceService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -11,6 +11,13 @@ from .experiment import (
     MultiAppRow,
     format_table8,
 )
+from .producers import (
+    Arrival,
+    bursty_schedule,
+    chunk_columns,
+    replay_virtual,
+    replay_wall,
+)
 from .traffic import Workload, build_workload
 from .training import ConvergencePoint, OnlineTrainer, TrainingCostModel
 
@@ -26,6 +33,11 @@ __all__ = [
     "EndToEndRow",
     "MultiAppRow",
     "format_table8",
+    "Arrival",
+    "bursty_schedule",
+    "chunk_columns",
+    "replay_virtual",
+    "replay_wall",
     "Workload",
     "build_workload",
     "ConvergencePoint",

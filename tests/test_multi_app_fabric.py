@@ -516,3 +516,58 @@ class TestExperimentScenario:
         # The shared fabric must not change what the anomaly app detects.
         solo = experiment.taurus_result()
         assert row.anomaly == solo
+
+
+class TestActionPostprocessHooks:
+    """The shared scalar+batch decision hook pair and its KMeans consumer."""
+
+    def test_scalar_batch_agree_per_row(self):
+        from repro.pisa.pipeline import action_postprocess
+
+        scalar, batch = action_postprocess()
+        values = np.array(
+            [[3.2, 1.0], [-0.4, 2.0], [7.9, 3.0]], dtype=np.float64
+        )
+        vectorized = batch(values)
+        assert vectorized.dtype == np.int64
+        assert vectorized.tolist() == [scalar(row) for row in values]
+
+    def test_component_selection(self):
+        from repro.pisa.pipeline import action_postprocess
+
+        scalar, batch = action_postprocess(component=1)
+        values = np.array([[9.0, 4.6], [9.0, -1.2]])
+        assert batch(values).tolist() == [4, -1]
+        assert scalar(values[0]) == 4
+
+    def test_from_kmeans_builds_serving_app(self):
+        from repro.datasets import (
+            IOT_CLUSTER_FEATURES,
+            iot_cluster_dataset,
+            iot_packet_trace,
+        )
+        from repro.ml import KMeans
+
+        feats, __ = iot_cluster_dataset(300, seed=7)
+        km = KMeans(n_clusters=4, seed=1).fit(feats)
+        app = FabricApp.from_kmeans(km)
+        assert app.name == "iot"
+        assert tuple(app.feature_names) == IOT_CLUSTER_FEATURES
+
+        trace = iot_packet_trace(96, seed=9)
+        fabric = MultiAppFabric([app], shards=1)
+        result = fabric.run({"iot": trace}, chunk_size=32).results["iot"]
+        fabric.close()
+        assert result.decisions.shape == (96,)
+        assert set(np.unique(result.decisions)) <= set(range(4))
+
+    def test_from_kmeans_rejects_bad_inputs(self):
+        from repro.datasets import iot_cluster_dataset
+        from repro.ml import KMeans
+
+        with pytest.raises(ValueError, match="fitted"):
+            FabricApp.from_kmeans(KMeans(n_clusters=3, seed=0))
+        feats, __ = iot_cluster_dataset(200, seed=2)
+        km = KMeans(n_clusters=3, seed=0).fit(feats)
+        with pytest.raises(ValueError, match="feature"):
+            FabricApp.from_kmeans(km, feature_names=("a", "b"))

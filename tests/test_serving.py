@@ -1,0 +1,551 @@
+"""Always-on inference service: admission, overload, and fault composition.
+
+The serving contract under test:
+
+* admission is **explicit and deterministic** — a seeded bursty arrival
+  schedule replayed against a virtual clock yields the exact same
+  ACCEPTED / DEFERRED / SHED sequence every time, queues never exceed
+  their bound, and the counters account for every submit exactly;
+* overload policies behave as documented — reject-new sheds at the cap,
+  drop-oldest evicts the queue head (and delivers its fate), and
+  degrade-to-sampling admits with a deterministic row stride up to a
+  hard cap;
+* accepted chunks are **bit-identical to the batch oracle** — a fresh
+  runtime replaying the completed chunks in recorded ``seq`` order
+  reproduces every result exactly, *including* when a
+  :class:`~repro.runtime.FaultPlan` is killing pool workers mid-service;
+* shutdown is a graceful bounded drain and the per-interval stats ride
+  :meth:`PoolHealth.snapshot`/:meth:`PoolHealth.since` without resetting
+  the live pool.
+"""
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.hw import MapReduceBlock
+from repro.mapreduce import dnn_graph
+from repro.runtime import (
+    ACCEPTED,
+    DEFERRED,
+    SHED,
+    ClientSpec,
+    FaultPlan,
+    InferenceService,
+    PoolHealth,
+    ShardedRuntime,
+    VirtualClock,
+    WorkerHealth,
+)
+from repro.testbed import bursty_schedule, chunk_columns, replay_virtual
+
+from test_shard_runtime import (
+    _oracle,
+    _pipeline,
+    _random_columns,
+    _reset,
+)
+
+HAS_FORK = hasattr(os, "fork")
+fork_only = pytest.mark.skipif(not HAS_FORK, reason="fault injection needs fork")
+
+FAST_WATCHDOG = {"hang_timeout": 0.75, "heartbeat_interval": 0.1,
+                 "retry_backoff": 0.01}
+
+SLOTS = 32
+CHUNK = 16
+
+
+@pytest.fixture(scope="module")
+def blocks(quantized_dnn):
+    """Oracle block + two shard blocks, identically configured."""
+    return [MapReduceBlock(dnn_graph(quantized_dnn)) for __ in range(3)]
+
+
+def _runtime(blocks, shards=2, pool=None, pool_options=None) -> ShardedRuntime:
+    for block in blocks[1 : shards + 1]:
+        _reset(block)
+    return ShardedRuntime(
+        lambda i: _pipeline(blocks[i + 1], SLOTS, tables=False),
+        shards=shards,
+        executor="serial",
+        pool=pool,
+        pool_options=pool_options,
+    )
+
+
+def _service(backend, *, clock, depth=4, overload="reject-new", **spec_kw):
+    return InferenceService(
+        backend,
+        [ClientSpec(name="tenant", queue_depth=depth, **spec_kw)],
+        overload=overload,
+        chunk_size=CHUNK,
+        clock=clock,
+    )
+
+
+def _chunks(seed=11, n=160, size=20):
+    return chunk_columns(_random_columns(seed=seed, n=n), size)
+
+
+def _results_equal(a, b) -> bool:
+    return (
+        np.array_equal(a.order, b.order)
+        and np.array_equal(a.times, b.times)
+        and np.array_equal(a.decisions, b.decisions)
+        and np.array_equal(a.ml_scores, b.ml_scores, equal_nan=True)
+        and np.array_equal(a.latencies_ns, b.latencies_ns)
+        and np.array_equal(a.bypassed, b.bypassed)
+        and a.aggregates.keys() == b.aggregates.keys()
+        and all(
+            np.array_equal(a.aggregates[k], b.aggregates[k])
+            for k in a.aggregates
+        )
+    )
+
+
+# ----------------------------------------------------------------------
+# Satellite: PoolHealth.snapshot() / since() window deltas
+# ----------------------------------------------------------------------
+class TestHealthWindows:
+    def test_snapshot_is_a_deep_copy(self):
+        health = PoolHealth.for_pool(2)
+        mark = health.snapshot()
+        health.worker(0).crashes += 3
+        health.worker(1).replayed_chunks += 7
+        assert mark.crashes == 0 and mark.replayed_chunks == 0
+        assert health.crashes == 3 and health.replayed_chunks == 7
+
+    def test_since_diffs_per_worker(self):
+        health = PoolHealth.for_pool(2)
+        health.worker(0).crashes = 2
+        health.worker(1).hangs = 1
+        mark = health.snapshot()
+        health.worker(0).crashes = 5
+        health.worker(0).restarts = 4
+        delta = health.since(mark)
+        assert delta.worker(0).crashes == 3
+        assert delta.worker(0).restarts == 4
+        assert delta.worker(1).hangs == 0
+        assert health.crashes == 5  # live counters untouched
+
+    def test_since_unknown_worker_counts_from_zero(self):
+        mark = PoolHealth.for_pool(1)
+        health = PoolHealth(
+            workers=[WorkerHealth(index=0), WorkerHealth(index=1, crashes=2)]
+        )
+        assert health.since(mark).crashes == 2
+
+    def test_since_unchanged_error_is_blanked(self):
+        health = PoolHealth.for_pool(1)
+        health.worker(0).last_error = "old"
+        mark = health.snapshot()
+        assert health.since(mark).worker(0).last_error == ""
+        health.worker(0).last_error = "new"
+        assert health.since(mark).worker(0).last_error == "new"
+
+
+# ----------------------------------------------------------------------
+# Admission control, one policy at a time (virtual clock, manual pump)
+# ----------------------------------------------------------------------
+class TestAdmission:
+    def test_reject_new_sheds_at_the_bound(self, blocks):
+        clock = VirtualClock()
+        with _service(_runtime(blocks), clock=clock, depth=2) as svc:
+            chunks = _chunks()
+            verdicts = [svc.submit("tenant", c).status for c in chunks[:4]]
+            assert verdicts == [ACCEPTED, ACCEPTED, SHED, SHED]
+            assert svc.stats().queue_depths["tenant"] == 2
+            svc.pump(max_requests=1)
+            assert svc.submit("tenant", chunks[4]).status == ACCEPTED
+
+    def test_token_bucket_defers_with_retry_after(self, blocks):
+        clock = VirtualClock()
+        with _service(
+            _runtime(blocks), clock=clock, depth=8, rate=10.0, burst=2.0
+        ) as svc:
+            chunks = _chunks()
+            assert svc.submit("tenant", chunks[0]).accepted
+            assert svc.submit("tenant", chunks[1]).accepted
+            third = svc.submit("tenant", chunks[2])
+            assert third.status == DEFERRED
+            assert third.reason == "rate-limited"
+            assert third.retry_after_s == pytest.approx(0.1)
+            clock.advance(third.retry_after_s)
+            assert svc.submit("tenant", chunks[2]).accepted
+            assert svc.stats().deferred == 1
+
+    def test_deadline_expires_queued_requests(self, blocks):
+        clock = VirtualClock()
+        with _service(_runtime(blocks), clock=clock, depth=8) as svc:
+            chunks = _chunks()
+            svc.submit("tenant", chunks[0], deadline_s=0.5)
+            svc.submit("tenant", chunks[1], deadline_s=10.0)
+            clock.advance(1.0)
+            svc.pump()
+            results = svc.take_results("tenant")
+            assert [r.status for r in results] == ["expired", "completed"]
+            stats = svc.stats()
+            assert stats.expired == stats.deadline_violations == 1
+            assert stats.completed == 1
+
+    def test_drop_oldest_evicts_and_reports(self, blocks):
+        clock = VirtualClock()
+        with _service(
+            _runtime(blocks), clock=clock, depth=2, overload="drop-oldest"
+        ) as svc:
+            chunks = _chunks()
+            first = svc.submit("tenant", chunks[0])
+            svc.submit("tenant", chunks[1])
+            third = svc.submit("tenant", chunks[2])
+            assert third.accepted  # made room by evicting the head
+            evicted = svc.take_results("tenant")
+            assert [r.status for r in evicted] == ["evicted"]
+            assert evicted[0].request_id == first.request_id
+            assert svc.stats().evicted == 1
+            svc.pump()
+            done = svc.take_results("tenant")
+            assert [r.status for r in done] == ["completed", "completed"]
+
+    def test_degrade_to_sampling_strides_then_sheds(self, blocks):
+        clock = VirtualClock()
+        with _service(
+            _runtime(blocks), clock=clock, depth=2,
+            overload="degrade-to-sampling",
+        ) as svc:
+            chunks = _chunks(size=20)
+            strides = [svc.submit("tenant", c).stride for c in chunks[:4]]
+            assert strides == [1, 1, 2, 4]
+            fifth = svc.submit("tenant", chunks[4])
+            assert fifth.status == SHED  # hard cap at 2 * depth
+            svc.pump()
+            done = svc.take_results("tenant")
+            assert [r.n_packets for r in done] == [20, 20, 10, 5]
+            assert svc.stats().sampled == 2
+
+    def test_draining_sheds_new_submits(self, blocks):
+        clock = VirtualClock()
+        with _service(_runtime(blocks), clock=clock) as svc:
+            chunks = _chunks()
+            svc.submit("tenant", chunks[0])
+            stats = svc.drain()
+            assert stats.completed == 1 and stats.queue_depths["tenant"] == 0
+            late = svc.submit("tenant", chunks[1])
+            assert late.status == SHED and late.reason == "draining"
+
+    def test_unknown_client_raises(self, blocks):
+        clock = VirtualClock()
+        with _service(_runtime(blocks), clock=clock) as svc:
+            with pytest.raises(KeyError):
+                svc.submit("stranger", _chunks()[0])
+
+
+# ----------------------------------------------------------------------
+# Satellite: exact accounting under a seeded bursty arrival schedule
+# ----------------------------------------------------------------------
+def _run_schedule(blocks, seed):
+    clock = VirtualClock()
+    specs = [
+        ClientSpec(
+            name="alpha", queue_depth=3, rate=150.0, burst=4.0,
+            result_depth=256,
+        ),
+        ClientSpec(name="beta", queue_depth=2, result_depth=256),
+    ]
+    svc = InferenceService(
+        _runtime(blocks), specs, chunk_size=CHUNK, clock=clock,
+    )
+    chunks = {
+        "alpha": _chunks(seed=seed, n=120, size=10),
+        "beta": _chunks(seed=seed + 1, n=80, size=10),
+    }
+    schedule = bursty_schedule(
+        {name: len(c) for name, c in chunks.items()},
+        seed=seed, base_rate=400.0, burst_factor=20.0,
+        burst_every=6, burst_len=4,
+    )
+    admissions = replay_virtual(svc, schedule, chunks, clock, pump_every=3)
+    depths = svc.stats().queue_depths
+    svc.drain()
+    stats = svc.stats()
+    results = svc.take_results()
+    svc.close()
+    return admissions, stats, results, depths
+
+
+class TestExactAccounting:
+    @settings(
+        max_examples=6, deadline=None,
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(seed=st.integers(min_value=0, max_value=10**6))
+    def test_counters_account_for_every_submit(self, blocks, seed):
+        admissions, stats, results, depths = _run_schedule(blocks, seed)
+        by_status = {
+            status: sum(1 for a in admissions if a.status == status)
+            for status in (ACCEPTED, DEFERRED, SHED)
+        }
+        assert stats.submitted == len(admissions)
+        assert stats.accepted == by_status[ACCEPTED]
+        assert stats.deferred == by_status[DEFERRED]
+        assert stats.shed == by_status[SHED]
+        # Every accepted request's fate is delivered exactly once.
+        assert stats.completed + stats.expired + stats.evicted == stats.accepted
+        fates = {r.request_id for r in results}
+        accepted_ids = {a.request_id for a in admissions if a.accepted}
+        assert fates == accepted_ids
+        # Bounded queues: never deeper than the admission-time cap.
+        assert all(depth <= 3 for depth in depths.values())
+        assert stats.queue_depths == {"alpha": 0, "beta": 0}
+
+    def test_schedule_replays_identically(self, blocks):
+        first = _run_schedule(blocks, seed=1234)[0]
+        second = _run_schedule(blocks, seed=1234)[0]
+        assert [
+            (a.status, a.client, a.stride, a.reason) for a in first
+        ] == [
+            (a.status, a.client, a.stride, a.reason) for a in second
+        ]
+
+    def test_queue_never_exceeds_bound_mid_run(self, blocks):
+        clock = VirtualClock()
+        with _service(_runtime(blocks), clock=clock, depth=3) as svc:
+            chunks = _chunks(n=200, size=10)
+            for i, chunk in enumerate(chunks):
+                clock.advance(0.001)
+                svc.submit("tenant", chunk)
+                assert svc.stats().queue_depths["tenant"] <= 3
+                if i % 4 == 3:
+                    svc.pump(max_requests=1)
+
+
+# ----------------------------------------------------------------------
+# Satellite: accepted chunks bit-identical to the oracle, faults active
+# ----------------------------------------------------------------------
+def _serve_and_replay(blocks, pool, pool_options=None, shards=2):
+    """Serve chunks through a pooled service, then replay the completed
+    sequence on the fresh single-pipeline oracle; returns result pairs."""
+    clock = VirtualClock()
+    chunks = _chunks(seed=29, n=240, size=24)
+    svc = _service(
+        _runtime(blocks, shards=shards, pool=pool, pool_options=pool_options),
+        clock=clock, depth=len(chunks),
+    )
+    admissions = []
+    for chunk in chunks:
+        clock.advance(0.002)
+        admissions.append(svc.submit("tenant", chunk))
+    assert all(a.accepted for a in admissions)
+    svc.drain()
+    results = [r for r in svc.take_results() if r.status == "completed"]
+    stats = svc.stats()
+    svc.close()
+    assert len(results) == len(chunks)
+
+    oracle = _oracle(blocks, SLOTS, tables=False)
+    pairs = []
+    for record in sorted(results, key=lambda r: r.seq):
+        expected = oracle.process_trace_batch(
+            chunks[record.request_id], chunk_size=CHUNK
+        )
+        pairs.append((expected, record.result))
+    return pairs, stats
+
+
+class TestServedResultsIdentity:
+    def test_thread_pool_matches_oracle(self, blocks):
+        pairs, __ = _serve_and_replay(blocks, pool="thread")
+        assert all(_results_equal(e, g) for e, g in pairs)
+
+    @fork_only
+    def test_crash_injected_service_matches_oracle(self, blocks):
+        """A worker SIGKILLed mid-service recovers transparently: every
+        accepted chunk's result still matches the unfaulted oracle."""
+        # Ordinals count per map_streams run, and every service request is
+        # its own run — ordinal 0 is each worker's first chunk of the
+        # first request it serves after the plan is armed.
+        plan = (
+            FaultPlan()
+            .add(worker=0, ordinal=0, kind="kill")
+            .add(worker=1, ordinal=0, kind="kill")
+        )
+        pairs, stats = _serve_and_replay(
+            blocks, pool="fork",
+            pool_options={"faults": plan, **FAST_WATCHDOG},
+        )
+        assert stats.pool is not None and stats.pool.crashes >= 2
+        assert stats.pool.restarts >= 2
+        assert all(_results_equal(e, g) for e, g in pairs)
+
+    @fork_only
+    def test_admission_keeps_answering_during_recovery(self, blocks):
+        """The ingress gate answers while the pool replaces a dead worker:
+        a hang fault stalls scoring ~0.75 s, but submits stay instant."""
+        import time as _time
+
+        plan = FaultPlan().add(worker=0, ordinal=0, kind="hang", seconds=30.0)
+        chunks = _chunks(seed=5, n=120, size=24)
+        svc = _service(
+            _runtime(blocks, pool="fork",
+                     pool_options={"faults": plan, **FAST_WATCHDOG}),
+            clock=VirtualClock(), depth=len(chunks),
+        )
+        try:
+            for chunk in chunks[:2]:
+                svc.submit("tenant", chunk)
+            svc.start()
+            _time.sleep(0.2)  # dispatcher is now stuck in the hang window
+            t0 = _time.monotonic()
+            verdict = svc.submit("tenant", chunks[2])
+            elapsed = _time.monotonic() - t0
+            assert verdict.accepted
+            assert elapsed < 0.2, "admission blocked behind recovery"
+            svc.drain()
+            done = [r for r in svc.take_results() if r.status == "completed"]
+            assert len(done) == 3
+            assert svc.stats().pool.hangs >= 1
+        finally:
+            svc.close()
+
+
+# ----------------------------------------------------------------------
+# Multi-tenant fabric serving (anomaly DNN + IoT KMeans)
+# ----------------------------------------------------------------------
+class TestMultiTenantFabric:
+    def test_two_tenant_fabric_identity(self, quantized_dnn):
+        """Two clients on two apps through one pooled fabric: every
+        completed chunk matches a fresh fabric replaying the recorded
+        scoring order — the IoT KMeans app rides the shared
+        ``action_postprocess`` hook pair (no per-row fallback)."""
+        from repro.datasets import iot_cluster_dataset, iot_packet_trace
+        from repro.ml import KMeans
+        from repro.runtime import FabricApp, MultiAppFabric
+
+        feats, __ = iot_cluster_dataset(400, seed=3)
+        km = KMeans(n_clusters=5, seed=0).fit(feats)
+
+        def make_fabric(pool):
+            return MultiAppFabric(
+                [
+                    FabricApp.from_quantized_dnn(quantized_dnn),
+                    FabricApp.from_kmeans(km),
+                ],
+                shards=2,
+                pool=pool,
+            )
+
+        anomaly_chunks = _chunks(seed=17, n=120, size=20)
+        iot_chunks = chunk_columns(iot_packet_trace(120, seed=4), 20)
+        clock = VirtualClock()
+        svc = InferenceService(
+            make_fabric("thread"),
+            [
+                ClientSpec(name="secops", app="anomaly", queue_depth=16),
+                ClientSpec(name="iot-floor", app="iot", queue_depth=16),
+            ],
+            chunk_size=CHUNK,
+            clock=clock,
+        )
+        submitted = {}
+        for a, b in zip(anomaly_chunks, iot_chunks):
+            clock.advance(0.001)
+            ra = svc.submit("secops", a)
+            submitted[ra.request_id] = ("anomaly", a)
+            rb = svc.submit("iot-floor", b)
+            submitted[rb.request_id] = ("iot", b)
+        svc.drain()
+        results = [r for r in svc.take_results() if r.status == "completed"]
+        assert len(results) == len(submitted)
+        kmeans_decisions = np.concatenate(
+            [
+                r.result.decisions
+                for r in results
+                if submitted[r.request_id][0] == "iot"
+            ]
+        )
+        assert set(np.unique(kmeans_decisions)) <= set(range(5))
+        assert len(np.unique(kmeans_decisions)) >= 2  # nontrivial clustering
+        svc.close()
+
+        oracle = make_fabric(None)
+        for rec in sorted(results, key=lambda r: r.seq):
+            app, cols = submitted[rec.request_id]
+            empty = cols.slice(slice(0, 0))
+            traces = {
+                a.name: (cols if a.name == app else empty)
+                for a in oracle.apps
+            }
+            expected = oracle.run(traces, chunk_size=CHUNK).results[app]
+            assert _results_equal(expected, rec.result)
+        oracle.close()
+
+
+# ----------------------------------------------------------------------
+# Lifecycle: threaded dispatch, graceful drain, interval stats
+# ----------------------------------------------------------------------
+class TestLifecycle:
+    def test_threaded_service_round_trip(self, blocks):
+        import time as _time
+
+        svc = _service(_runtime(blocks), clock=_time.monotonic, depth=8)
+        try:
+            svc.start()
+            chunks = _chunks(n=80, size=20)
+            for chunk in chunks:
+                assert svc.submit("tenant", chunk).accepted
+            deadline = _time.monotonic() + 10.0
+            collected = []
+            while len(collected) < len(chunks) and _time.monotonic() < deadline:
+                collected.extend(svc.take_results("tenant"))
+                _time.sleep(0.01)
+            assert len(collected) == len(chunks)
+            assert all(r.status == "completed" for r in collected)
+            assert all(r.time_to_decision_s >= 0 for r in collected)
+        finally:
+            svc.close()
+
+    def test_interval_stats_window(self, blocks):
+        clock = VirtualClock()
+        with _service(
+            _runtime(blocks, pool="thread"), clock=clock, depth=8
+        ) as svc:
+            chunks = _chunks(n=60, size=20)
+            svc.interval_stats()  # open a fresh window
+            for chunk in chunks:
+                svc.submit("tenant", chunk)
+            svc.pump()
+            window = svc.interval_stats()
+            assert window.completed == len(chunks)
+            assert window.pool is not None  # rides PoolHealth.snapshot
+            idle = svc.interval_stats()
+            assert idle.completed == 0 and idle.submitted == 0
+            assert np.isnan(idle.p50_decision_s)
+            # Cumulative stats are unaffected by window marks.
+            assert svc.stats().completed == len(chunks)
+
+    def test_close_is_idempotent_and_closes_backend(self, blocks):
+        clock = VirtualClock()
+        runtime = _runtime(blocks, pool="thread")
+        svc = _service(runtime, clock=clock)
+        svc.submit("tenant", _chunks()[0])
+        svc.close()
+        svc.close()
+        assert runtime.pool is None or runtime.pool._closed
+
+    def test_results_buffer_is_bounded(self, blocks):
+        clock = VirtualClock()
+        with InferenceService(
+            _runtime(blocks),
+            [ClientSpec(name="tenant", queue_depth=4, result_depth=2)],
+            chunk_size=CHUNK,
+            clock=clock,
+        ) as svc:
+            chunks = _chunks(n=80, size=20)
+            for chunk in chunks[:4]:
+                svc.submit("tenant", chunk)
+            svc.pump()
+            results = svc.take_results("tenant")
+            assert len(results) == 2  # oldest two were dropped, counted
+            assert svc.stats().results_dropped == 2
