@@ -18,23 +18,43 @@ time*; this package is that layer for the reproduction:
   names, state-key overlap, aggregate MU residency).
 * :func:`lint_source` / :func:`lint_paths` — an AST-based fork-safety
   lint for runtime sources (fds/locks captured across ``fork``, missing
-  ``os._exit`` in forked children, unbounded joins on close paths).
+  ``os._exit`` in forked children, unbounded joins on close paths,
+  inconsistent lock-acquisition orders across functions).
+* :func:`analyze_ranges` — an abstract interpreter proving per-node
+  value intervals (in raw fixed-point units) through every graph:
+  saturation, wide-accumulator overflow, and LUT domain-coverage
+  warnings, plus bit-width-narrowing opportunities, with per-node
+  waivers for saturation that is the quantization scheme by design.
+* :func:`analyze_effects` — a purity/effects pass (stateless /
+  state-read / state-write / temporal) that certifies maximal chains of
+  pure element-wise nodes as a :class:`FusionPlan` — the input the
+  ROADMAP item 2 fusing transformer consumes verbatim.
 
 Everything surfaces as :class:`Diagnostic` records with stable check IDs
 (see :data:`CHECKS`), severities, and node/line provenance.  The CLI —
 ``python -m repro.analysis`` — runs the whole battery over the shipped
-app graphs and the runtime sources and is wired into CI as a lint gate.
+app graphs and the runtime sources and is wired into CI as a lint gate
+(``--format=json`` for the machine-readable artifact).
 """
 
 from .diagnostics import CHECKS, CheckSpec, Diagnostic, Severity, worst_severity
+from .effects import FusionPlan, NodeEffects, analyze_effects
 from .fork_lint import lint_paths, lint_source
 from .ir_verify import verify_fabric, verify_graph
+from .ranges import TOP, Interval, RangeReport, analyze_ranges
 
 __all__ = [
     "CHECKS",
     "CheckSpec",
     "Diagnostic",
+    "FusionPlan",
+    "Interval",
+    "NodeEffects",
+    "RangeReport",
     "Severity",
+    "TOP",
+    "analyze_effects",
+    "analyze_ranges",
     "lint_paths",
     "lint_source",
     "verify_fabric",

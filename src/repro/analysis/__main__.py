@@ -2,28 +2,40 @@
 
 Verifies every shipped dataflow graph (structure, shapes, execution
 probe, budgets against the default :class:`~repro.core.TaurusConfig`),
-the shipped multi-app fabric bundle, and fork-safety of the runtime
-sources.  Exit status is 0 when no finding of warning severity or above
-remains, 1 otherwise — which is exactly what CI's ``lint`` job checks.
+runs the abstract-interpretation range/saturation analysis and the
+purity/effects pass over each (fusion plans + per-node waivers are
+reported), the shipped multi-app fabric bundle, and fork-safety of the
+runtime sources.  Exit status is 0 when no finding of warning severity
+or above remains, 1 otherwise — which is exactly what CI's ``lint`` job
+checks.
 
 Usage::
 
     python -m repro.analysis                  # the full shipped battery
+    python -m repro.analysis --format=json    # machine-readable report
     python -m repro.analysis --list-checks    # the check catalog
     python -m repro.analysis -v               # also print info findings
     python -m repro.analysis --suppress ir-fixpoint-drift ...
     python -m repro.analysis path/to/file.py  # fork-lint sources instead
+
+The JSON document carries every finding (check id, severity, category,
+message, graph/file provenance), the per-graph fusion plans and proven
+output intervals, and a summary block with the exit code — CI uploads it
+as an artifact so regressions diff as JSON, not log text.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 
 from .diagnostics import CHECKS, Severity
+from .effects import analyze_effects
 from .fork_lint import lint_paths
 from .ir_verify import verify_fabric, verify_graph
+from .ranges import analyze_ranges
 
 
 def _runtime_dir() -> Path:
@@ -73,6 +85,13 @@ def main(argv: list[str] | None = None) -> int:
         help="skip the execution probe (structure/budget checks only)",
     )
     parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format: human-readable text (default) or one JSON "
+        "document on stdout (progress prints suppressed)",
+    )
+    parser.add_argument(
         "--list-checks", action="store_true", help="print the check catalog"
     )
     args = parser.parse_args(argv)
@@ -85,8 +104,15 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown check ID(s): {', '.join(unknown)}")
     suppress = set(args.suppress)
+    as_json = args.format == "json"
+
+    def progress(message: str) -> None:
+        if not as_json:
+            print(message, flush=True)
 
     diags = []
+    fusion_plans: dict[str, list[list[str]]] = {}
+    ranges: dict[str, dict[str, list[float]]] = {}
     if args.paths:
         diags += lint_paths(args.paths)
         diags = [d for d in diags if d.check_id not in suppress]
@@ -95,7 +121,7 @@ def main(argv: list[str] | None = None) -> int:
         from .catalog import shipped_fabric, shipped_graphs
 
         config = TaurusConfig()
-        print("verifying shipped graphs ...", flush=True)
+        progress("verifying shipped graphs ...")
         for graph in shipped_graphs():
             found = verify_graph(
                 graph,
@@ -103,12 +129,26 @@ def main(argv: list[str] | None = None) -> int:
                 probe=not args.no_probe,
                 suppress=suppress,
             )
+            report = analyze_ranges(graph, suppress=suppress)
+            found += report.diagnostics
+            plan = analyze_effects(graph)
+            fusion_plans[graph.name] = [
+                list(chain) for chain in plan.chain_names()
+            ]
+            ranges[graph.name] = {
+                plan.effects[nid].name: [_finite(iv.lo), _finite(iv.hi)]
+                for nid, iv in report.intervals.items()
+                if plan.effects[nid].name
+            }
             diags += found
-            print(f"  {graph.name}: {_tally(found)}")
-        print("verifying fabric bundle ...", flush=True)
+            tally = _tally(found)
+            if fusion_plans[graph.name]:
+                tally += f", {len(fusion_plans[graph.name])} fusable chain(s)"
+            progress(f"  {graph.name}: {tally}")
+        progress("verifying fabric bundle ...")
         diags += verify_fabric(shipped_fabric(), config=config, suppress=suppress)
         runtime = _runtime_dir()
-        print(f"fork-safety lint over {runtime} ...", flush=True)
+        progress(f"fork-safety lint over {runtime} ...")
         diags += [
             d
             for d in lint_paths([runtime])
@@ -116,6 +156,11 @@ def main(argv: list[str] | None = None) -> int:
         ]
 
     gating = [d for d in diags if d.severity >= Severity.WARNING]
+    exit_code = 1 if gating else 0
+    if as_json:
+        print(json.dumps(_json_report(diags, fusion_plans, ranges, exit_code)))
+        return exit_code
+
     shown = diags if args.verbose else gating
     for d in shown:
         print(d.format())
@@ -126,7 +171,44 @@ def main(argv: list[str] | None = None) -> int:
         f"{sum(d.severity == Severity.INFO for d in diags)} info"
         + ("" if args.verbose or not diags else "  (use -v to see info)")
     )
-    return 1 if gating else 0
+    return exit_code
+
+
+def _json_report(diags, fusion_plans, ranges, exit_code) -> dict:
+    """The machine-readable report (uploaded as a CI artifact)."""
+    return {
+        "findings": [
+            {
+                "check_id": d.check_id,
+                "severity": str(d.severity),
+                "category": (
+                    CHECKS[d.check_id].category if d.check_id in CHECKS else None
+                ),
+                "message": d.message,
+                "source": d.source,
+                "node": d.node,
+                "node_name": d.node_name,
+                "line": d.line,
+            }
+            for d in diags
+        ],
+        "summary": {
+            "total": len(diags),
+            "error": sum(d.severity == Severity.ERROR for d in diags),
+            "warning": sum(d.severity == Severity.WARNING for d in diags),
+            "info": sum(d.severity == Severity.INFO for d in diags),
+            "exit_code": exit_code,
+        },
+        "fusion_plans": fusion_plans,
+        "ranges": ranges,
+    }
+
+
+def _finite(value: float) -> float | None:
+    """Unbounded interval ends serialize as null (JSON has no Infinity)."""
+    import math
+
+    return value if math.isfinite(value) else None
 
 
 def _tally(diags) -> str:

@@ -7,6 +7,12 @@ microbenchmarks, and the two-app fabric bundle the multi-app runtime
 demos deploy.  This module builds them from small, seeded trainings —
 sized for seconds, not fidelity; the verifier checks program structure
 and execution contracts, which do not depend on model quality.
+
+The range gate runs over this same list: every shipped graph must be
+saturation-clean under :func:`~repro.analysis.ranges.analyze_ranges`, or
+carry explicit per-node ``an-*`` waivers attached at lowering (which
+downgrade to auditable info findings — the CLI prints them with ``-v``
+and the JSON report always carries them).
 """
 
 from __future__ import annotations

@@ -53,7 +53,7 @@ class CheckSpec:
 
     check_id: str
     severity: Severity
-    category: str  # "shape" | "structure" | "budget" | "fabric" | "fork-safety"
+    category: str  # "shape" | "structure" | "budget" | "fabric" | "range" | "fork-safety"
     summary: str
 
 
@@ -125,6 +125,18 @@ CHECKS: dict[str, CheckSpec] = {
               "app, but merged state dumps become ambiguous)"),
         _spec("fabric-mu-residency", Severity.WARNING, "fabric",
               "apps cannot co-reside in MUs; every swap re-streams weights"),
+        # -- range analysis (repro.analysis.ranges) -------------------------
+        _spec("an-may-saturate", Severity.WARNING, "range",
+              "a value interval entering a saturating format conversion "
+              "exceeds the representable range; the hardware clips"),
+        _spec("an-acc-overflow", Severity.WARNING, "range",
+              "the wide integer accumulator bound exceeds wide_dtype; "
+              "integer MAC wraps instead of saturating"),
+        _spec("an-lut-oob", Severity.WARNING, "range",
+              "a LUT's index interval is not covered by its table domain"),
+        _spec("an-narrowable", Severity.INFO, "range",
+              "an edge's proven interval fits a strictly smaller format; "
+              "narrowing would halve its MU/stream footprint"),
         # -- runtime fork-safety -------------------------------------------
         _spec("rt-fork-flush", Severity.ERROR, "fork-safety",
               "os.fork() without flushing stdout/stderr first duplicates "
@@ -147,6 +159,9 @@ CHECKS: dict[str, CheckSpec] = {
               "queue.Queue() with no maxsize (or put() with no timeout) "
               "turns overload into unbounded memory growth or a parked "
               "producer"),
+        _spec("rt-lock-order", Severity.ERROR, "fork-safety",
+              "two module-level locks are acquired in inconsistent orders "
+              "across functions; concurrent callers can deadlock"),
     ]
 }
 

@@ -40,6 +40,14 @@ are caught in CI rather than as hangs and leaked fds:
     must carry a cap and every blocking put a deadline
     (``queue.SimpleQueue`` cannot be bounded at all, so it is always
     flagged).
+``rt-lock-order``
+    Two lock-ish names (anything whose terminal name contains "lock")
+    acquired in nested ``with`` blocks in one order in one function and
+    the opposite order in another is the classic AB/BA deadlock: two
+    concurrent callers each hold one lock and wait on the other forever.
+    The admission-vs-scoring lock split in ``runtime/service.py`` is the
+    motivating pattern — every function must acquire that pair in the
+    same order.
 
 Findings are :class:`~repro.analysis.diagnostics.Diagnostic` records with
 file/line provenance.  Suppress a finding by appending ``# noqa`` (all
@@ -144,6 +152,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
             _lint_close_joins(fn, calls, report)
         _lint_unbounded_recv(fn, calls, report)
         _lint_unbounded_queue(fn, calls, resolved, report)
+    _lint_lock_order(tree, report)
     return diags
 
 
@@ -344,6 +353,83 @@ def _lint_unbounded_queue(fn, calls, resolved, report) -> None:
                 "timeout= or block=False",
                 call.lineno,
             )
+
+
+def _lock_name(expr: ast.expr) -> str | None:
+    """The lock-ish name a ``with`` item acquires, if any."""
+    target = expr.func if isinstance(expr, ast.Call) else expr
+    name = _terminal_name(target)
+    if name is not None and "lock" in name.lower():
+        return name
+    return None
+
+
+def _lock_pairs(fn: ast.AST) -> list[tuple[str, str, int]]:
+    """Ordered ``(outer, inner, line)`` lock acquisitions nested in ``fn``.
+
+    Tracks the stack of lock-ish names held through nested ``with``
+    statements (multi-item ``with a, b:`` acquires left to right);
+    nested function/class scopes are skipped — they are visited as their
+    own functions.
+    """
+    pairs: list[tuple[str, str, int]] = []
+
+    def visit(node: ast.AST, held: list[str]) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            return
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            inner_held = list(held)
+            for item in node.items:
+                name = _lock_name(item.context_expr)
+                if name is not None:
+                    for outer in inner_held:
+                        pairs.append((outer, name, item.context_expr.lineno))
+                    inner_held.append(name)
+            for child in node.body:
+                visit(child, inner_held)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child, held)
+
+    for stmt in ast.iter_child_nodes(fn):
+        visit(stmt, [])
+    return pairs
+
+
+def _lint_lock_order(tree: ast.AST, report) -> None:
+    """Flag lock pairs acquired in opposite orders across functions.
+
+    Module-scoped (unlike the per-function checks above): the AB/BA
+    deadlock needs two functions to materialize.  Each unordered pair is
+    reported once, at the later (inverting) acquisition, naming both
+    functions.
+    """
+    orders: dict[frozenset, tuple[str, str, str, int]] = {}
+    flagged: set[frozenset] = set()
+    for fn in (
+        node
+        for node in ast.walk(tree)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    ):
+        for outer, inner, line in _lock_pairs(fn):
+            if outer == inner:
+                continue
+            key = frozenset((outer, inner))
+            prev = orders.get(key)
+            if prev is None:
+                orders[key] = (outer, inner, fn.name, line)
+            elif (prev[0], prev[1]) != (outer, inner) and key not in flagged:
+                flagged.add(key)
+                report(
+                    "rt-lock-order", Severity.ERROR,
+                    f"{fn.name}() acquires {outer!r} then {inner!r}, but "
+                    f"{prev[2]}() (line {prev[3]}) acquires them in the "
+                    "opposite order; concurrent callers deadlock holding "
+                    "one each",
+                    line,
+                )
 
 
 def _suppressed(lines: list[str], lineno: int, check: str) -> bool:

@@ -70,6 +70,14 @@ HW_ACTIVATION_FOR = {
 }
 
 
+#: Activation spec names with a registered range transfer of the same
+#: name in :data:`repro.analysis.ranges.TRANSFERS`.
+_ACT_TRANSFER_NAMES = frozenset({
+    "relu", "leaky_relu", "sigmoid", "tanh",
+    "sigmoid_pw", "tanh_pw", "sigmoid_exp", "tanh_exp", "act_lut",
+})
+
+
 def _hw_activation_fn(model_act: str, fmt: FixedPointFormat):
     """Fixed-point hardware activation: approximate fn + output roundtrip."""
     spec = ACTIVATIONS[HW_ACTIVATION_FOR[model_act]]
@@ -98,13 +106,27 @@ def dnn_graph(
     class decision, and argmax over logits equals argmax over softmax.
     """
     graph = DataflowGraph(name=name)
-    cursor = graph.add("input", name="features", width=qmodel.layers[0].weights.shape[1])
+    in_fmt0 = qmodel.layers[0].in_fmt
+    cursor = graph.add(
+        "input",
+        name="features",
+        width=qmodel.layers[0].weights.shape[1],
+        # Precondition: preprocessing MATs format features as fixed point
+        # before the fabric sees them (the PHV boundary in linear()).
+        value_range=(in_fmt0.min_value, in_fmt0.max_value),
+    )
     for i, layer in enumerate(qmodel.layers):
         out_units, in_units = layer.weights.shape
+        # Per-channel dequantized weights: row i stores w_raw[i] * 2^-w_frac[i].
+        w_real = layer.w_raw.astype(np.float64) * (
+            2.0 ** -layer.w_frac.astype(np.float64)
+        )[:, None]
+        b_real = layer.bias.to_float()
         bank = graph.add(
             "const",
             name=f"w{i}",
             weight_values=layer.weights.size + layer.bias.size,
+            payload={"values": np.concatenate([w_real.ravel(), b_real.ravel()])},
         )
         dot = graph.add(
             "dot",
@@ -116,6 +138,19 @@ def dnn_graph(
             reduce_op="sum",
             fn=_single(layer.linear),
             batch_fn=layer.linear,
+            transfer="dot",
+            payload={
+                "weights": w_real,
+                "bias": b_real,
+                "in_fmt": layer.in_fmt,
+                "fmt": layer.act_fmt,
+                "w_frac_bits": int(layer.w_frac.max()),
+                "requantize": "shift",
+            },
+            # TFLite-style calibration clips pre-activation outliers into
+            # act_fmt by design; saturation here is the quantization
+            # scheme, not a bug.
+            waivers=("an-may-saturate",),
         )
         cursor = dot
         if out_units > 1:
@@ -128,9 +163,16 @@ def dnn_graph(
             # Element-wise on any shape: one callable serves both paths.
             act_fn = batch_act_fn = layer.activate
             spec = ACTIVATIONS[HW_ACTIVATION_FOR.get(layer.activation, "relu")]
+            # The exact model activations are registered transfers too.
+            act_transfer = (
+                layer.activation
+                if layer.activation in ("relu", "leaky_relu", "sigmoid", "tanh")
+                else None
+            )
         else:
             act_fn, spec = _hw_activation_fn(layer.activation, layer.act_fmt)
             batch_act_fn = act_fn
+            act_transfer = spec.name
         cursor = graph.add(
             "map",
             preds=[cursor],
@@ -140,6 +182,8 @@ def dnn_graph(
             fn=act_fn,
             batch_fn=batch_act_fn,
             weight_values=spec.lut_tables * 1024,
+            transfer=act_transfer,
+            payload={"fmt": layer.act_fmt},
         )
     graph.add("output", preds=[cursor], name="score", width=cursor.width)
     return _verified(graph)
@@ -217,8 +261,18 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         return np.atleast_1d(s + bias)
 
     graph = DataflowGraph(name=name)
-    features = graph.add("input", name="features", width=dim)
-    bank = graph.add("const", name="sv_bank", weight_values=sv.size + alphas.size)
+    features = graph.add(
+        "input",
+        name="features",
+        width=dim,
+        value_range=(in_fmt.min_value, in_fmt.max_value),
+    )
+    bank = graph.add(
+        "const",
+        name="sv_bank",
+        weight_values=sv.size + alphas.size,
+        payload={"values": np.concatenate([sv.ravel(), alphas.ravel()])},
+    )
     dist = graph.add(
         "mapreduce",
         preds=[features, bank],
@@ -229,6 +283,14 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         reduce_op="sum",
         fn=_single(sq_dist),
         batch_fn=sq_dist,
+        transfer="sq_dist",
+        payload={"bank": sv, "in_fmt": in_fmt, "fmt": acc_fmt},
+        # acc_fmt is calibrated to the max SV-to-SV distance; a feature
+        # vector at the far corner of in_fmt's range can exceed it, and
+        # a clipped distance only pushes the kernel further toward 0 —
+        # the decision is unaffected for exactly the points that are
+        # already far from every support vector.
+        waivers=("an-may-saturate",),
     )
     gathered = graph.add("gather", preds=[dist], name="gather_dist", width=n_sv)
     scaled = graph.add(
@@ -239,6 +301,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         chain_ops=1,
         fn=scale_gamma,
         batch_fn=scale_gamma,
+        transfer="affine",
+        payload={"scale": -gamma, "clip": (-8.0, 0.0)},
     )
     kernel = graph.add(
         "lut",
@@ -248,6 +312,12 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         weight_values=1024,
         fn=exp_lut,
         batch_fn=exp_lut,
+        transfer="lut",
+        payload={
+            "domain": (-8.0, 0.0),
+            "range": (0.0, 1.0),  # exp over [-8, 0]
+            "fmt": fmt,
+        },
     )
     score = graph.add(
         "dot",
@@ -259,6 +329,12 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         reduce_op="sum",
         fn=weighted_sum,
         batch_fn=weighted_sum,
+        transfer="dot",
+        payload={"weights": alphas.reshape(1, -1), "fmt": fmt},
+        # Sum(alpha_i) can exceed the datapath range in the worst case
+        # (every kernel value 1 at once); clipping the margin preserves
+        # its sign, which is all the decision threshold reads.
+        waivers=("an-may-saturate",),
     )
     decision = graph.add(
         "map",
@@ -268,6 +344,8 @@ def svm_graph(svm, fmt: FixedPointFormat = FIX8, name: str = "svm") -> DataflowG
         chain_ops=2,  # add bias, compare
         fn=bias_threshold,
         batch_fn=bias_threshold,
+        transfer="affine",
+        payload={"offset": bias},
     )
     graph.add("output", preds=[decision], name="score", width=1)
     return _verified(graph)
@@ -299,8 +377,18 @@ def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> 
         return np.argmin(d, axis=-1, keepdims=True)
 
     graph = DataflowGraph(name=name)
-    features = graph.add("input", name="features", width=dim)
-    bank = graph.add("const", name="centroids", weight_values=centroids.size)
+    features = graph.add(
+        "input",
+        name="features",
+        width=dim,
+        value_range=(in_fmt.min_value, in_fmt.max_value),
+    )
+    bank = graph.add(
+        "const",
+        name="centroids",
+        weight_values=centroids.size,
+        payload={"values": centroids.ravel()},
+    )
     dist = graph.add(
         "mapreduce",
         preds=[features, bank],
@@ -311,6 +399,13 @@ def kmeans_graph(kmeans, fmt: FixedPointFormat = FIX8, name: str = "kmeans") -> 
         reduce_op="sum",
         fn=_single(sq_dist),
         batch_fn=sq_dist,
+        transfer="sq_dist",
+        payload={"bank": centroids, "in_fmt": in_fmt, "fmt": acc_fmt},
+        # acc_fmt covers the max centroid-to-centroid distance; corner
+        # inputs can exceed it, and a clipped distance ties only between
+        # centroids that are all far away — argmin still picks a sane
+        # cluster for outliers.
+        waivers=("an-may-saturate",),
     )
     gathered = graph.add("gather", preds=[dist], name="gather_dist", width=k)
     nearest = graph.add(
@@ -353,7 +448,14 @@ def lstm_graph(
     from ..ml.activations import sigmoid_piecewise, tanh_piecewise
 
     graph = DataflowGraph(name=name, temporal_iterations=window_steps)
-    window = graph.add("input", name="window", width=window_steps * dim)
+    window = graph.add(
+        "input",
+        name="window",
+        width=window_steps * dim,
+        # Congestion-control observations are normalized into the
+        # datapath format before lowering onto the fabric.
+        value_range=(fmt.min_value, fmt.max_value),
+    )
 
     # State arrays ("h", "c") carry a leading batch axis — (B, hidden) —
     # in both paths (the scalar interpreter runs the same fns with B = 1).
@@ -365,6 +467,7 @@ def lstm_graph(
     x_t = graph.add(
         "map", preds=[window], name="select_step", width=dim, chain_ops=1,
         fn=_single(select_step), batch_fn=select_step,
+        transfer="slice",
     )
 
     def read_hidden(x: np.ndarray, state: dict) -> np.ndarray:
@@ -374,12 +477,15 @@ def lstm_graph(
     h_prev = graph.add(
         "map", preds=[window], name="read_h", width=hidden, chain_ops=1,
         fn=_single(read_hidden), batch_fn=read_hidden,
+        transfer="state_read",
+        payload={"keys": ("h",)},
     )
     concat = graph.add(
         "gather", preds=[x_t, h_prev], name="concat", width=dim + hidden
     )
     bank = graph.add(
-        "const", name="w_gates", weight_values=w_gates.size + b_gates.size
+        "const", name="w_gates", weight_values=w_gates.size + b_gates.size,
+        payload={"values": np.concatenate([w_gates.ravel(), b_gates.ravel()])},
     )
 
     def gate_matvec(z: np.ndarray) -> np.ndarray:
@@ -398,6 +504,17 @@ def lstm_graph(
         reduce_op="sum",
         fn=_single(gate_matvec),
         batch_fn=gate_matvec,
+        transfer="dot",
+        payload={
+            "weights": w_gates,
+            "bias": b_gates,
+            "in_fmt": fmt,
+            "fmt": fmt,
+        },
+        # Gate pre-activations feed squashing nonlinearities; clipping a
+        # large pre-activation only drives its sigmoid/tanh deeper into
+        # the flat tail it was already in.
+        waivers=("an-may-saturate",),
     )
 
     def cell_update(gate_pre: np.ndarray, state: dict) -> np.ndarray:
@@ -426,6 +543,15 @@ def lstm_graph(
         chain_ops=sig_spec.chain_ops + 6,
         fn=_single(cell_update),
         batch_fn=cell_update,
+        # h = o * tanh(c) with o in [0, 1]: certified by construction,
+        # independent of how far the carried cell state wanders.
+        value_range=(-1.0, 1.0),
+        payload={
+            "state_ranges": {
+                "h": (-1.0, 1.0),
+                "c": (fmt.min_value, fmt.max_value),
+            },
+        },
     )
 
     # The action head runs once, after the final history element.
@@ -437,7 +563,10 @@ def lstm_graph(
     def argmax(logits: np.ndarray) -> np.ndarray:
         return np.argmax(logits, axis=-1, keepdims=True)
 
-    head_bank = graph.add("const", name="w_out", weight_values=w_out.size + b_out.size)
+    head_bank = graph.add(
+        "const", name="w_out", weight_values=w_out.size + b_out.size,
+        payload={"values": np.concatenate([w_out.ravel(), b_out.ravel()])},
+    )
     head = graph.add(
         "dot",
         preds=[updated_h, head_bank],
@@ -449,6 +578,13 @@ def lstm_graph(
         fn=_single(action_head),
         batch_fn=action_head,
         epilogue=True,
+        transfer="dot",
+        payload={
+            "weights": w_out,
+            "bias": b_out,
+            "in_fmt": fmt,
+            "fmt": fmt,
+        },
     )
     head_vec = graph.add(
         "gather", preds=[head], name="gather_head", width=lstm.n_actions, epilogue=True
@@ -481,8 +617,16 @@ def inner_product_graph(width: int = 16, fmt: FixedPointFormat = FIX8) -> Datafl
         )
 
     graph = DataflowGraph(name=f"inner_product_{width}")
-    features = graph.add("input", name="x", width=width)
-    bank = graph.add("const", name="w", weight_values=width)
+    features = graph.add(
+        "input",
+        name="x",
+        width=width,
+        # Table 6 microbenchmarks drive unit-range stimulus.
+        value_range=(-1.0, 1.0),
+    )
+    bank = graph.add(
+        "const", name="w", weight_values=width, payload={"values": weights}
+    )
     dot = graph.add(
         "dot",
         preds=[features, bank],
@@ -493,6 +637,12 @@ def inner_product_graph(width: int = 16, fmt: FixedPointFormat = FIX8) -> Datafl
         reduce_op="sum",
         fn=dot_fn,
         batch_fn=dot_fn,
+        transfer="dot",
+        payload={"weights": weights.reshape(1, -1), "in_fmt": fmt, "fmt": fmt},
+        # Sum(|w|) over 16 unit-range lanes can exceed the Q3.4 range;
+        # the perceptron microbenchmark measures latency, and a clipped
+        # score keeps its sign.
+        waivers=("an-may-saturate",),
     )
     graph.add("output", preds=[dot], name="y", width=1)
     return _verified(graph)
@@ -503,6 +653,14 @@ def activation_graph(
 ) -> DataflowGraph:
     """A standalone line-rate activation (Table 6 / Fig. 10)."""
     spec = ACTIVATIONS[spec_name]
+
+    # Sound output range for the table contents: sample the reference
+    # implementation over the clipped domain and pad by a Lipschitz step
+    # (one-time lowering cost; the range transfer treats it as certified).
+    _xs = np.linspace(-8.0, 8.0, 1025)
+    _ys = np.asarray(spec.fn(_xs), dtype=np.float64)
+    _pad = 2 * 16.0 / 1024
+    lut_range = (float(_ys.min()) - _pad, float(_ys.max()) + _pad)
 
     # All three stages are element-wise: the same callables serve the
     # scalar and the (B, width) batched path.
@@ -516,21 +674,36 @@ def activation_graph(
         return y
 
     graph = DataflowGraph(name=spec_name)
-    features = graph.add("input", name="x", width=width)
+    features = graph.add(
+        "input",
+        name="x",
+        width=width,
+        # Activation sweeps drive the datapath format's full range.
+        value_range=(fmt.min_value, fmt.max_value),
+    )
     cursor = features
     if spec.lut_tables:
         # Address computation, MU table read, rescale.
         addr = graph.add(
             "map", preds=[cursor], name="lut_addr", width=width, chain_ops=3,
             fn=clip_addr, batch_fn=clip_addr,
+            transfer="clip",
+            payload={"clip": (-8.0, 8.0)},
         )
         table = graph.add(
             "lut", preds=[addr], name="table", width=width, weight_values=1024,
             fn=table_read, batch_fn=table_read,
+            transfer="lut",
+            payload={
+                "domain": (-8.0, 8.0),
+                "range": lut_range,
+                "fmt": fmt,
+            },
         )
         cursor = graph.add(
             "map", preds=[table], name="rescale", width=width, chain_ops=3,
             fn=identity, batch_fn=identity,
+            transfer="identity",
         )
     else:
         cursor = graph.add(
@@ -541,6 +714,8 @@ def activation_graph(
             chain_ops=spec.chain_ops,
             fn=table_read,
             batch_fn=table_read,
+            transfer=spec.name if spec.name in _ACT_TRANSFER_NAMES else None,
+            payload={"fmt": fmt},
         )
     graph.add("output", preds=[cursor], name="y", width=width)
     return _verified(graph)
@@ -580,18 +755,28 @@ def conv1d_graph(
 
     graph = DataflowGraph(name=f"conv1d_u{unroll}")
     graph.initiation_interval = n_outputs // unroll
-    features = graph.add("input", name="x", width=width_in)
-    bank = graph.add("const", name="taps", weight_values=kernel)
+    features = graph.add(
+        "input",
+        name="x",
+        width=width_in,
+        # Table 6 microbenchmarks drive unit-range stimulus.
+        value_range=(-1.0, 1.0),
+    )
+    bank = graph.add(
+        "const", name="taps", weight_values=kernel, payload={"values": taps}
+    )
     slices = []
     for s in range(unroll):
         slice_fn = window_fn(s)
         window = graph.add(
             "map", preds=[features], name=f"window{s}", width=kernel, chain_ops=2,
             fn=slice_fn, batch_fn=slice_fn,
+            transfer="slice",
         )
         align = graph.add(
             "map", preds=[window], name=f"align{s}", width=kernel, chain_ops=2,
             fn=identity, batch_fn=identity,
+            transfer="identity",
         )
         dot = graph.add(
             "mapreduce",
@@ -603,10 +788,13 @@ def conv1d_graph(
             reduce_op="sum",
             fn=tap_dot,
             batch_fn=tap_dot,
+            transfer="dot",
+            payload={"weights": taps.reshape(1, -1), "fmt": fmt},
         )
         accum = graph.add(
             "map", preds=[dot], name=f"accum{s}", width=1, chain_ops=1,
             fn=identity, batch_fn=identity,
+            transfer="identity",
         )
         slices.append(accum)
     gathered = graph.add("gather", preds=slices, name="gather_out", width=unroll)

@@ -113,6 +113,27 @@ class Node:
         fast.
     weight_values:
         Number of constant values this node keeps in MUs (``const``/``lut``).
+    value_range:
+        Declared real-valued output range ``(lo, hi)``.  On ``input`` nodes
+        it is a *precondition* on arriving data (what the preprocessing
+        MATs deliver); on compute nodes it is a frontend certification of
+        the node's output bound.  ``repro.analysis.ranges`` trusts these
+        declarations (and the execution-probe / property tests check them
+        dynamically); ``None`` means unbounded.
+    transfer:
+        Name of a registered abstract transfer function in
+        :data:`repro.analysis.ranges.TRANSFERS` describing this node's
+        interval semantics (e.g. ``"roundtrip"``, ``"dot"``, ``"relu"``).
+        Nodes without one (and without ``value_range``) analyze as
+        unbounded.
+    payload:
+        Structured analysis facts the transfer reads: weight/bias arrays,
+        the saturating output format, LUT domains, declared state-key
+        ranges.  Opaque to the interpreter.
+    waivers:
+        Check IDs (e.g. ``"an-may-saturate"``) the lowering explicitly
+        waives on this node; the analysis downgrades matching findings to
+        info severity so by-design saturation does not fail the CI gate.
     """
 
     node_id: int
@@ -127,6 +148,9 @@ class Node:
     batch_fn: Callable[..., np.ndarray] | None = None
     weight_values: int = 0
     payload: Any = None
+    value_range: tuple[float, float] | None = None
+    transfer: str | None = None
+    waivers: tuple[str, ...] = ()
     #: Epilogue nodes run once after the last temporal iteration (e.g. the
     #: LSTM's action head) rather than inside the recurrent step.
     epilogue: bool = False
@@ -136,6 +160,12 @@ class Node:
             raise ValueError(f"unknown node kind {self.kind!r}")
         if self.parallel <= 0 or self.width <= 0:
             raise ValueError("parallel and width must be positive")
+        if self.value_range is not None:
+            lo, hi = self.value_range
+            if not lo <= hi:
+                raise ValueError(
+                    f"value_range lo must not exceed hi, got ({lo}, {hi})"
+                )
 
 
 @dataclass

@@ -7,6 +7,8 @@ interpreter paths without error, while seeded defect classes are caught
 statically.
 """
 
+import json
+
 import numpy as np
 import pytest
 from hypothesis import given, settings
@@ -14,14 +16,18 @@ from hypothesis import strategies as st
 
 from repro.analysis import (
     CHECKS,
+    TOP,
+    Interval,
     Severity,
+    analyze_effects,
+    analyze_ranges,
     lint_source,
     verify_fabric,
     verify_graph,
     worst_severity,
 )
 from repro.core import TaurusConfig
-from repro.fixpoint import FIX8
+from repro.fixpoint import FIX8, FIX16, FIX32
 from repro.mapreduce import DataflowGraph
 
 CFG = TaurusConfig()
@@ -88,14 +94,17 @@ class TestCatalog:
         for check_id, spec in CHECKS.items():
             assert spec.check_id == check_id
             assert spec.category in (
-                "shape", "structure", "budget", "fabric", "fork-safety"
+                "shape", "structure", "budget", "fabric", "fork-safety",
+                "range",
             )
             assert spec.summary
 
     def test_catalog_spans_required_categories(self):
         assert len(CHECKS) >= 8
         categories = {spec.category for spec in CHECKS.values()}
-        assert {"shape", "structure", "budget", "fork-safety"} <= categories
+        assert {
+            "shape", "structure", "budget", "fork-safety", "range"
+        } <= categories
 
     def test_severity_ordering(self):
         assert Severity.INFO < Severity.WARNING < Severity.ERROR
@@ -638,6 +647,82 @@ class TestForkLint:
         assert lint_paths([runtime_dir]) == []
 
 
+class TestLockOrderLint:
+    """rt-lock-order: inconsistent lock-acquisition orders across functions."""
+
+    INVERTED = (
+        "def f(a_lock, b_lock):\n"
+        "    with a_lock:\n"
+        "        with b_lock:\n"
+        "            pass\n"
+        "def g(a_lock, b_lock):\n"
+        "    with b_lock:\n"
+        "        with a_lock:\n"
+        "            pass\n"
+    )
+
+    def test_inversion_trigger(self):
+        diags = [
+            d for d in lint_source(self.INVERTED)
+            if d.check_id == "rt-lock-order"
+        ]
+        assert len(diags) == 1
+        # Reported once, at the later of the two orderings, naming both.
+        assert diags[0].line == 7
+        assert "f()" in diags[0].message and "g()" in diags[0].message
+
+    def test_consistent_order_clean(self):
+        src = (
+            "def f(a_lock, b_lock):\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n"
+            "def g(a_lock, b_lock):\n"
+            "    with a_lock:\n"
+            "        with b_lock:\n"
+            "            pass\n"
+        )
+        assert lint_source(src) == []
+
+    def test_multi_item_with_records_order(self):
+        # `with a, b:` acquires left to right — inverting it elsewhere
+        # is the same deadlock.
+        src = (
+            "def f(a_lock, b_lock):\n"
+            "    with a_lock, b_lock:\n"
+            "        pass\n"
+            "def g(a_lock, b_lock):\n"
+            "    with b_lock:\n"
+            "        with a_lock:\n"
+            "            pass\n"
+        )
+        assert "rt-lock-order" in _ids(lint_source(src))
+
+    def test_non_lock_names_ignored(self):
+        src = (
+            "def f(conn, handle):\n"
+            "    with conn:\n"
+            "        with handle:\n"
+            "            pass\n"
+            "def g(conn, handle):\n"
+            "    with handle:\n"
+            "        with conn:\n"
+            "            pass\n"
+        )
+        assert lint_source(src) == []
+
+    def test_single_lock_never_flagged(self):
+        src = (
+            "def f(a_lock):\n"
+            "    with a_lock:\n"
+            "        pass\n"
+            "def g(a_lock):\n"
+            "    with a_lock:\n"
+            "        pass\n"
+        )
+        assert lint_source(src) == []
+
+
 class TestCLI:
     """``python -m repro.analysis`` in paths mode (the shipped-graph
     battery is exercised by the CI lint job itself, not re-trained here)."""
@@ -681,6 +766,32 @@ class TestCLI:
         out = capsys.readouterr().out
         for check_id in CHECKS:
             assert check_id in out
+
+    def test_json_findings(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        src = "import os\ndef f():\n    pid = os.fork()\n    os._exit(0)\n"
+        assert main([self._write(tmp_path, src), "--format=json"]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["exit_code"] == 1
+        assert doc["summary"]["total"] == len(doc["findings"])
+        flush = next(
+            f for f in doc["findings"] if f["check_id"] == "rt-fork-flush"
+        )
+        assert flush["category"] == "fork-safety"
+        assert flush["severity"] == "error"
+        assert flush["line"] == 3
+        assert flush["source"].endswith("snippet.py")
+
+    def test_json_clean_is_empty_report(self, tmp_path, capsys):
+        from repro.analysis.__main__ import main
+
+        assert main([self._write(tmp_path, FORK_CLEAN), "--format=json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["findings"] == []
+        assert doc["summary"] == {
+            "total": 0, "error": 0, "warning": 0, "info": 0, "exit_code": 0,
+        }
 
 
 class TestShippedGraphsClean:
@@ -841,3 +952,508 @@ class TestPropertyCleanGraphsExecute:
             out.preds = [m.node_id]
 
         assert expected in _ids(_verify(g)), defect
+
+
+# ----------------------------------------------------------------------
+# Range analysis: trigger + clean per check, waivers, widening, soundness.
+# ----------------------------------------------------------------------
+def _ranged_graph(value_range, *, transfer="roundtrip", payload=None,
+                  width=4, waivers=(), fn=_rt):
+    """input(value_range) -> map(transfer, payload) -> output."""
+    g = DataflowGraph(name="ranged")
+    inp = g.add("input", name="x", width=width, value_range=value_range)
+    m = g.add("map", preds=[inp], name="m", width=width, chain_ops=1,
+              fn=fn, batch_fn=fn, transfer=transfer,
+              payload=payload or {}, waivers=waivers)
+    g.add("output", preds=[m], name="y", width=width)
+    return g
+
+
+def _dot_graph(value_range, weights, fmt):
+    """input -> dot(resident bank) -> output with a dot transfer."""
+    w = np.atleast_2d(np.asarray(weights, dtype=np.float64))
+
+    def fn(x):
+        return fmt.roundtrip(
+            (np.asarray(x, dtype=np.float64)[..., None, :] * w).sum(axis=-1)
+        )
+
+    g = DataflowGraph(name="dotted")
+    inp = g.add("input", name="x", width=w.shape[1],
+                value_range=value_range)
+    bank = g.add("const", name="w", weight_values=int(w.size),
+                 payload={"values": w})
+    d = g.add("dot", preds=[inp, bank], name="d", parallel=1,
+              width=w.shape[1], chain_ops=1, reduce_op="sum",
+              fn=fn, batch_fn=fn, transfer="dot",
+              payload={"weights": w, "fmt": fmt})
+    g.add("output", preds=[d], name="y", width=w.shape[0])
+    return g
+
+
+def _accum_fn(key, fmt=None):
+    """An executable recurrent accumulator matching ``state_accum``."""
+    ns = {"FMT": fmt}
+    body = f"    out = state.get({key!r}, 0.0) + x\n"
+    if fmt is not None:
+        body += "    out = FMT.roundtrip(out)\n"
+    exec(  # noqa: S102 - building a fixture, key is a test literal
+        "def fn(x, state=None):\n" + body +
+        f"    state[{key!r}] = out\n"
+        "    return out\n",
+        ns,
+    )
+    fn = ns["fn"]
+    fn.wants_state = True
+    return fn
+
+
+def _accum_graph(iterations, fmt=None):
+    g = DataflowGraph(name="accum", temporal_iterations=iterations)
+    inp = g.add("input", name="x", width=1, value_range=(0.0, 1.0))
+    payload = {"key": "acc", "state_writes": {"acc": "output"}}
+    if fmt is not None:
+        payload["fmt"] = fmt
+    fn = _accum_fn("acc", fmt)
+    g.add("map", preds=[inp], name="acc_node", width=1, chain_ops=1,
+          fn=fn, batch_fn=fn, transfer="state_accum", payload=payload)
+    g.add("output", preds=[g.nodes[1]], name="y", width=1)
+    return g
+
+
+def _assert_observed_within(graph, report, features):
+    """Every value ``execute_batch`` produces sits in its interval."""
+
+    def observer(node, value, iteration):
+        if node.kind == "const":
+            return  # resident banks, not streamed values
+        iv = report.intervals[node.node_id]
+        arr = np.asarray(value, dtype=np.float64)
+        assert arr.min() >= iv.lo - 1e-9, (node.name, iv, float(arr.min()))
+        assert arr.max() <= iv.hi + 1e-9, (node.name, iv, float(arr.max()))
+
+    graph.execute_batch(features, observer=observer)
+
+
+class TestIntervalLattice:
+    def test_join_and_contains(self):
+        a, b = Interval(-1.0, 0.5), Interval(0.0, 2.0)
+        assert a.join(b) == Interval(-1.0, 2.0)
+        assert a.join(b).contains(2.0) and not a.contains(2.0)
+
+    def test_top_absorbs(self):
+        assert Interval(-1.0, 1.0).join(TOP) == TOP
+        assert not TOP.bounded
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError, match="lo must not exceed hi"):
+            Interval(1.0, -1.0)
+
+
+class TestRangeChecks:
+    def test_saturate_trigger(self):
+        fmt = FIX8.with_frac_bits(6)  # Q1.6: ~[-2, 2)
+        report = analyze_ranges(
+            _ranged_graph((-4.0, 4.0), payload={"fmt": fmt},
+                          fn=fmt.roundtrip)
+        )
+        sat = [d for d in report.diagnostics
+               if d.check_id == "an-may-saturate"]
+        assert len(sat) == 1 and sat[0].severity == Severity.WARNING
+        # The post-clip interval is the format's representable range.
+        iv = report.interval_of("m")
+        assert iv == Interval(fmt.min_value, fmt.max_value)
+
+    def test_saturate_clean(self):
+        fmt = FIX8.with_frac_bits(6)
+        report = analyze_ranges(
+            _ranged_graph((-1.0, 1.0), payload={"fmt": fmt},
+                          fn=fmt.roundtrip)
+        )
+        assert report.diagnostics == []
+        assert report.interval_of("m") == Interval(-1.0, 1.0)
+
+    def test_unbounded_input_is_top_and_flagged(self):
+        report = analyze_ranges(_ranged_graph(None))
+        assert report.interval_of("x") == TOP
+        assert "an-may-saturate" in _ids(report.diagnostics)
+
+    def test_acc_overflow_trigger(self):
+        # |W|·2^16 · |x|·2^16 exceeds int64: the wide MAC would wrap.
+        g = _dot_graph((-30000.0, 30000.0), np.full((1, 4), 32000.0), FIX32)
+        assert "an-acc-overflow" in _ids(analyze_ranges(g).diagnostics)
+
+    def test_acc_overflow_clean(self):
+        g = _dot_graph((-1.0, 1.0), np.full((1, 4), 0.25), FIX32)
+        report = analyze_ranges(g)
+        assert report.diagnostics == []
+        assert report.interval_of("d") == Interval(-1.0, 1.0)
+
+    def test_lut_oob_trigger(self):
+        g = _ranged_graph(
+            (-4.0, 4.0), transfer="lut",
+            payload={"domain": (-2.0, 2.0), "range": (0.0, 1.0)},
+        )
+        assert "an-lut-oob" in _ids(analyze_ranges(g).diagnostics)
+
+    def test_lut_in_domain_clean(self):
+        g = _ranged_graph(
+            (-2.0, 2.0), transfer="lut",
+            payload={"domain": (-2.0, 2.0), "range": (0.0, 1.0)},
+        )
+        report = analyze_ranges(g)
+        assert report.diagnostics == []
+        assert report.interval_of("m") == Interval(0.0, 1.0)
+
+    def test_narrowable_info(self):
+        fmt = FIX16.with_frac_bits(4)  # Q11.4: +/-0.4 fits 8 bits
+        report = analyze_ranges(
+            _ranged_graph((-0.4, 0.4), payload={"fmt": fmt},
+                          fn=fmt.roundtrip)
+        )
+        narrow = [d for d in report.diagnostics
+                  if d.check_id == "an-narrowable"]
+        assert len(narrow) == 1 and narrow[0].severity == Severity.INFO
+        assert "8 bits" in narrow[0].message
+
+    def test_narrowable_clean_when_width_is_used(self):
+        fmt = FIX16.with_frac_bits(4)
+        report = analyze_ranges(
+            _ranged_graph((-1000.0, 1000.0), payload={"fmt": fmt},
+                          fn=fmt.roundtrip)
+        )
+        assert report.diagnostics == []
+
+    def test_waiver_downgrades_to_info(self):
+        fmt = FIX8.with_frac_bits(6)
+        report = analyze_ranges(
+            _ranged_graph((-4.0, 4.0), payload={"fmt": fmt},
+                          fn=fmt.roundtrip,
+                          waivers=("an-may-saturate",))
+        )
+        sat = [d for d in report.diagnostics
+               if d.check_id == "an-may-saturate"]
+        assert len(sat) == 1
+        assert sat[0].severity == Severity.INFO
+        assert "waived at lowering" in sat[0].message
+
+    def test_suppress_drops_findings(self):
+        fmt = FIX8.with_frac_bits(6)
+        g = _ranged_graph((-4.0, 4.0), payload={"fmt": fmt},
+                          fn=fmt.roundtrip)
+        report = analyze_ranges(g, suppress={"an-may-saturate"})
+        assert report.diagnostics == []
+
+    def test_unknown_transfer_rejected(self):
+        g = _ranged_graph((-1.0, 1.0), transfer="no-such-transfer")
+        with pytest.raises(KeyError, match="no-such-transfer"):
+            analyze_ranges(g)
+
+
+class TestRangeStateful:
+    def test_bounded_iterations_converge(self):
+        g = _accum_graph(iterations=3)
+        report = analyze_ranges(g)
+        assert report.passes == 3
+        # Three joined writes of [0, 1] on a zero-initialized key.
+        assert report.state["acc"] == Interval(0.0, 3.0)
+        _assert_observed_within(g, report, np.full((4, 1), 1.0))
+
+    def test_widening_reaches_fixed_point(self):
+        from repro.analysis.ranges import WIDEN_AFTER
+
+        g = _accum_graph(iterations=64, fmt=FIX8)
+        report = analyze_ranges(g)
+        # Still growing at the widening threshold: the key jumps to TOP
+        # and the next pass is stable by absorption.
+        assert report.passes == WIDEN_AFTER + 1
+        assert report.state["acc"] == TOP
+        assert "an-may-saturate" in _ids(report.diagnostics)
+        # The saturating format still bounds the node's output.
+        assert report.interval_of("acc_node") == Interval(
+            FIX8.min_value, FIX8.max_value
+        )
+        _assert_observed_within(g, report, np.full((4, 1), 1.0))
+
+    def test_declared_state_range_used(self):
+        g = _ranged_graph(
+            (-1.0, 1.0), transfer="state_read", payload={"keys": ("h",)},
+        )
+        g.nodes[1].fn = g.nodes[1].batch_fn = None
+        report = analyze_ranges(g)
+        # No writer: zero-initialized state stays [0, 0].
+        assert report.interval_of("m") == Interval(0.0, 0.0)
+
+
+_RANGE_OPS = st.lists(
+    st.sampled_from(["rt", "affine", "clip", "relu", "tanh", "dot"]),
+    min_size=0, max_size=6,
+)
+
+
+def _affine_fn(scale, offset):
+    def fn(x):
+        return np.asarray(x, dtype=np.float64) * scale + offset
+    return fn
+
+
+def _clip_fn(lo, hi):
+    def fn(x):
+        return np.clip(np.asarray(x, dtype=np.float64), lo, hi)
+    return fn
+
+
+def _bank_dot_fn(w):
+    def fn(x):
+        return FIX8.roundtrip(
+            (np.asarray(x, dtype=np.float64) * w).sum(axis=-1, keepdims=True)
+        )
+    return fn
+
+
+def _random_ranged_graph(width, ops, rng):
+    """A random transfer-annotated chain whose semantics the transfers
+    model exactly — the soundness property's universe."""
+    from repro.ml.activations import relu, tanh
+
+    g = DataflowGraph(name="ranged-random")
+    cursor = g.add("input", name="x", width=width, value_range=(-2.0, 2.0))
+    cur_width = width
+    for i, op in enumerate(ops):
+        if op == "dot" and cur_width == 1:
+            op = "rt"
+        if op == "rt":
+            cursor = g.add("map", preds=[cursor], name=f"rt{i}",
+                           width=cur_width, chain_ops=1, fn=_rt, batch_fn=_rt,
+                           transfer="roundtrip")
+        elif op == "affine":
+            scale = float(rng.choice([-1.5, -0.5, 0.5, 1.25]))
+            offset = float(rng.choice([-0.25, 0.0, 0.5]))
+            fn = _affine_fn(scale, offset)
+            cursor = g.add("map", preds=[cursor], name=f"a{i}",
+                           width=cur_width, chain_ops=1, fn=fn, batch_fn=fn,
+                           transfer="affine",
+                           payload={"scale": scale, "offset": offset})
+        elif op == "clip":
+            fn = _clip_fn(-1.0, 1.0)
+            cursor = g.add("map", preds=[cursor], name=f"c{i}",
+                           width=cur_width, chain_ops=1, fn=fn, batch_fn=fn,
+                           transfer="clip", payload={"clip": (-1.0, 1.0)})
+        elif op == "relu":
+            cursor = g.add("map", preds=[cursor], name=f"re{i}",
+                           width=cur_width, chain_ops=1, fn=relu,
+                           batch_fn=relu, transfer="relu")
+        elif op == "tanh":
+            cursor = g.add("map", preds=[cursor], name=f"t{i}",
+                           width=cur_width, chain_ops=1, fn=tanh,
+                           batch_fn=tanh, transfer="tanh")
+        elif op == "dot":
+            w = FIX8.roundtrip(rng.uniform(-1.0, 1.0, size=cur_width))
+            bank = g.add("const", name=f"w{i}", weight_values=int(w.size),
+                         payload={"values": w})
+            fn = _bank_dot_fn(w)
+            cursor = g.add("dot", preds=[cursor, bank], name=f"d{i}",
+                           parallel=1, width=cur_width, chain_ops=1,
+                           reduce_op="sum", fn=fn, batch_fn=fn,
+                           transfer="dot",
+                           payload={"weights": w.reshape(1, -1),
+                                    "fmt": FIX8})
+            cur_width = 1
+    g.add("output", preds=[cursor], name="y", width=cur_width)
+    return g
+
+
+class TestRangeSoundness:
+    """The analysis contract: observed values sit inside predicted
+    intervals for any input satisfying the declared preconditions."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(width=st.integers(2, 6), ops=_RANGE_OPS, seed=st.integers(0, 2**16))
+    def test_observed_within_predicted(self, width, ops, seed):
+        rng = np.random.default_rng(seed)
+        g = _random_ranged_graph(width, ops, rng)
+        report = analyze_ranges(g)
+        features = FIX8.roundtrip(rng.uniform(-2.0, 2.0, size=(5, width)))
+        _assert_observed_within(g, report, features)
+
+    def test_saturating_corpus_is_flagged(self):
+        narrow = FIX8.with_frac_bits(6)
+        corpus = [
+            (_ranged_graph((-4.0, 4.0), payload={"fmt": narrow},
+                           fn=narrow.roundtrip), "an-may-saturate"),
+            (_dot_graph((-30000.0, 30000.0), np.full((1, 4), 32000.0),
+                        FIX32), "an-acc-overflow"),
+            (_ranged_graph((-4.0, 4.0), transfer="lut",
+                           payload={"domain": (-2.0, 2.0),
+                                    "range": (0.0, 1.0)}), "an-lut-oob"),
+        ]
+        for g, expected in corpus:
+            assert expected in _ids(analyze_ranges(g).diagnostics), expected
+
+
+class TestShippedGraphsRangeClean:
+    """Acceptance: every shipped lowering passes the range gate —
+    zero warning+ findings (waivers are already info-severity)."""
+
+    def _assert_range_clean(self, graph):
+        report = analyze_ranges(graph)
+        gating = [d for d in report.diagnostics
+                  if d.severity >= Severity.WARNING]
+        assert gating == [], [d.format() for d in gating]
+
+    def test_dnn(self, quantized_dnn):
+        from repro.mapreduce import dnn_graph
+
+        self._assert_range_clean(dnn_graph(quantized_dnn))
+
+    def test_svm(self, trained_svm):
+        from repro.mapreduce import svm_graph
+
+        self._assert_range_clean(svm_graph(trained_svm))
+
+    def test_kmeans(self, trained_kmeans):
+        from repro.mapreduce import kmeans_graph
+
+        self._assert_range_clean(kmeans_graph(trained_kmeans))
+
+    def test_lstm(self):
+        from repro.mapreduce import lstm_graph
+        from repro.ml import indigo_lstm
+
+        self._assert_range_clean(lstm_graph(indigo_lstm(seed=0)))
+
+    def test_microbenches(self):
+        from repro.mapreduce import (
+            activation_graph,
+            conv1d_graph,
+            inner_product_graph,
+        )
+        from repro.ml.activations import ACTIVATIONS
+
+        self._assert_range_clean(inner_product_graph(16))
+        self._assert_range_clean(conv1d_graph(unroll=8))
+        for name in ACTIVATIONS:
+            self._assert_range_clean(activation_graph(name))
+
+
+# ----------------------------------------------------------------------
+# Effects classification and the certified fusion plan.
+# ----------------------------------------------------------------------
+def _reader(key):
+    """A state-reading fn whose key is a bytecode literal."""
+    ns = {}
+    exec(  # noqa: S102 - building a fixture, key is a test literal
+        "def fn(x, state=None):\n"
+        f"    return x + state.get({key!r}, 0.0)\n",
+        ns,
+    )
+    fn = ns["fn"]
+    fn.wants_state = True
+    return fn
+
+
+class TestEffects:
+    def test_pure_map_is_stateless_and_fusable(self):
+        plan = analyze_effects(_chain_graph())
+        assert plan.effect_of("m").effect == "stateless"
+        assert plan.effect_of("m").fusable
+        # Pure but not element-wise: input/output never fuse.
+        assert plan.effect_of("x").effect == "stateless"
+        assert not plan.effect_of("x").fusable
+
+    def test_state_write_classified(self):
+        g = _chain_graph()
+        g.nodes[1].fn = g.nodes[1].batch_fn = _stateful("flow")
+        e = analyze_effects(g).effect_of("m")
+        assert e.effect == "state-write"
+        assert e.state_writes == ("flow",)
+        assert not e.fusable
+
+    def test_state_read_classified(self):
+        g = _chain_graph()
+        g.nodes[1].fn = g.nodes[1].batch_fn = _reader("h")
+        e = analyze_effects(g).effect_of("m")
+        assert e.effect == "state-read"
+        assert e.state_reads == ("h",)
+
+    def test_iteration_read_is_temporal(self):
+        g = _chain_graph()
+        g.nodes[1].fn = g.nodes[1].batch_fn = _reader("iteration")
+        assert analyze_effects(g).effect_of("m").effect == "temporal"
+
+    def test_epilogue_is_temporal(self):
+        g = _chain_graph()
+        g.nodes[1].epilogue = True
+        e = analyze_effects(g).effect_of("m")
+        assert e.effect == "temporal"
+        assert not e.fusable
+
+    def test_lstm_classification(self):
+        from repro.mapreduce import lstm_graph
+        from repro.ml import indigo_lstm
+
+        plan = analyze_effects(lstm_graph(indigo_lstm(seed=0)))
+        assert plan.effect_of("read_h").effect == "state-read"
+        assert plan.effect_of("cell_update").effect == "state-write"
+        assert set(plan.effect_of("cell_update").state_writes) == {"c", "h"}
+        assert plan.effect_of("select_step").effect == "temporal"
+        assert plan.effect_of("gate_matvec").effect == "stateless"
+        # Nothing in the recurrent cell is fusable.
+        assert plan.chains == []
+
+    def test_svm_chain(self, trained_svm):
+        from repro.mapreduce import svm_graph
+
+        plan = analyze_effects(svm_graph(trained_svm))
+        assert ("scale_gamma", "exp_lut") in plan.chain_names()
+
+    def test_act_lut_chain(self):
+        from repro.mapreduce import activation_graph
+
+        plan = analyze_effects(activation_graph("act_lut"))
+        assert ("lut_addr", "table", "rescale") in plan.chain_names()
+
+    def test_branching_consumer_breaks_chain(self):
+        g = _chain_graph()
+        m = g.nodes[1]
+        m2 = g.add("map", preds=[m], name="m2", width=m.width, chain_ops=1,
+                   fn=_rt, batch_fn=_rt)
+        # A second consumer of m: fusing m into m2 would hide m's edge.
+        tap = g.add("map", preds=[m], name="tap", width=m.width,
+                    chain_ops=1, fn=_rt, batch_fn=_rt)
+        out = g.outputs()[0]
+        out.preds = [m2.node_id, tap.node_id]
+        out.width = m2.width + tap.width
+        assert analyze_effects(g).chains == []
+
+    @pytest.mark.parametrize("builder", ["act_lut", "conv1d"])
+    def test_chain_composition_is_bit_identical(self, builder):
+        """The FusionPlan certificate: composing a chain's member
+        callables reproduces the tail's observed values exactly."""
+        from repro.mapreduce import activation_graph, conv1d_graph
+
+        g = (activation_graph("act_lut") if builder == "act_lut"
+             else conv1d_graph(unroll=8))
+        plan = analyze_effects(g)
+        assert plan.chains, "expected at least one fusable chain"
+
+        width = next(
+            n.width for n in g.nodes.values() if n.kind == "input"
+        )
+        rng = np.random.default_rng(7)
+        features = FIX8.roundtrip(rng.uniform(-2.0, 2.0, size=(6, width)))
+        observed = {}
+
+        def observer(node, value, iteration):
+            observed[node.node_id] = np.asarray(value).copy()
+
+        g.execute_batch(features, observer=observer)
+        for chain in plan.chains:
+            head = g.nodes[chain[0]]
+            pred = next(
+                p for p in head.preds if g.nodes[p].kind != "const"
+            )
+            value = observed[pred]
+            for nid in chain:
+                value = g.nodes[nid].batch_fn(value)
+            np.testing.assert_array_equal(value, observed[chain[-1]])

@@ -108,6 +108,24 @@ class TestCountMinSketch:
             cms.update((k,))
         assert cms.total == len(keys)
 
+    @given(st.lists(st.integers(0, 80), min_size=0, max_size=200))
+    @settings(max_examples=20, deadline=None)
+    def test_query_batch_matches_scalar_query(self, keys):
+        """The paired batch hook is bit-identical to per-key queries."""
+        cms = CountMinSketch(width=64, depth=3)
+        for k in keys:
+            cms.update((k,))
+        probe = [(k,) for k in set(keys)] + [("absent",)]
+        batch = cms.query_batch(probe)
+        assert batch.dtype == np.int64
+        assert batch.shape == (len(probe),)
+        assert [int(v) for v in batch] == [cms.query(key) for key in probe]
+
+    def test_query_batch_empty(self):
+        cms = CountMinSketch(width=64, depth=3)
+        empty = cms.query_batch([])
+        assert empty.shape == (0,) and empty.dtype == np.int64
+
 
 class TestElasticRSS:
     def _flows(self, n=400, seed=0):
