@@ -29,6 +29,14 @@ time*; this package is that layer for the reproduction:
   state-read / state-write / temporal) that certifies maximal chains of
   pure element-wise nodes as a :class:`FusionPlan` — the input the
   ROADMAP item 2 fusing transformer consumes verbatim.
+* :func:`analyze_concurrency` — a CFG-based interprocedural lockset
+  analysis over the runtime sources: thread entry-point discovery,
+  per-statement must-locksets through helper calls and aliasing, a
+  shared-field access map with race verdicts (``rt-racy-field``,
+  ``rt-lockset-inconsistent``), condition-variable discipline
+  (``rt-cv-wait-no-predicate``, ``rt-cv-notify-unheld``), and a message
+  state machine over the framed pipe protocol (``rt-frame-unconsumed``,
+  ``rt-ack-window-order``).
 
 Everything surfaces as :class:`Diagnostic` records with stable check IDs
 (see :data:`CHECKS`), severities, and node/line provenance.  The CLI —
@@ -37,6 +45,7 @@ app graphs and the runtime sources and is wired into CI as a lint gate
 (``--format=json`` for the machine-readable artifact).
 """
 
+from .concurrency import analyze_concurrency, analyze_concurrency_sources
 from .diagnostics import CHECKS, CheckSpec, Diagnostic, Severity, worst_severity
 from .effects import FusionPlan, NodeEffects, analyze_effects
 from .fork_lint import lint_paths, lint_source
@@ -53,6 +62,8 @@ __all__ = [
     "RangeReport",
     "Severity",
     "TOP",
+    "analyze_concurrency",
+    "analyze_concurrency_sources",
     "analyze_effects",
     "analyze_ranges",
     "lint_paths",

@@ -4,24 +4,29 @@ Verifies every shipped dataflow graph (structure, shapes, execution
 probe, budgets against the default :class:`~repro.core.TaurusConfig`),
 runs the abstract-interpretation range/saturation analysis and the
 purity/effects pass over each (fusion plans + per-node waivers are
-reported), the shipped multi-app fabric bundle, and fork-safety of the
-runtime sources.  Exit status is 0 when no finding of warning severity
-or above remains, 1 otherwise — which is exactly what CI's ``lint`` job
-checks.
+reported), the shipped multi-app fabric bundle, and the runtime-source
+lints: fork-safety *and* the interprocedural lockset/protocol
+concurrency analysis (``repro.analysis.concurrency``).  Exit status is
+0 when no finding of warning severity or above remains, 1 otherwise —
+which is exactly what CI's ``lint`` job checks.
 
 Usage::
 
     python -m repro.analysis                  # the full shipped battery
     python -m repro.analysis --format=json    # machine-readable report
+    python -m repro.analysis --format=sarif   # SARIF 2.1.0 (CI upload)
     python -m repro.analysis --list-checks    # the check catalog
     python -m repro.analysis -v               # also print info findings
     python -m repro.analysis --suppress ir-fixpoint-drift ...
-    python -m repro.analysis path/to/file.py  # fork-lint sources instead
+    python -m repro.analysis path/to/file.py  # lint sources instead
 
 The JSON document carries every finding (check id, severity, category,
 message, graph/file provenance), the per-graph fusion plans and proven
 output intervals, and a summary block with the exit code — CI uploads it
-as an artifact so regressions diff as JSON, not log text.
+as an artifact so regressions diff as JSON, not log text.  The SARIF
+document carries the same findings in SARIF 2.1.0 shape (one run, one
+rule per catalog check, physical file/line locations) so
+``github/codeql-action/upload-sarif`` annotates PRs inline.
 """
 
 from __future__ import annotations
@@ -31,6 +36,7 @@ import json
 import sys
 from pathlib import Path
 
+from .concurrency import analyze_concurrency
 from .diagnostics import CHECKS, Severity
 from .effects import analyze_effects
 from .fork_lint import lint_paths
@@ -86,10 +92,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="output format: human-readable text (default) or one JSON "
-        "document on stdout (progress prints suppressed)",
+        help="output format: human-readable text (default), one JSON "
+        "document on stdout, or SARIF 2.1.0 for CI code-scanning upload "
+        "(progress prints suppressed for both machine formats)",
     )
     parser.add_argument(
         "--list-checks", action="store_true", help="print the check catalog"
@@ -104,10 +111,10 @@ def main(argv: list[str] | None = None) -> int:
     if unknown:
         parser.error(f"unknown check ID(s): {', '.join(unknown)}")
     suppress = set(args.suppress)
-    as_json = args.format == "json"
+    machine = args.format in ("json", "sarif")
 
     def progress(message: str) -> None:
-        if not as_json:
+        if not machine:
             print(message, flush=True)
 
     diags = []
@@ -115,6 +122,7 @@ def main(argv: list[str] | None = None) -> int:
     ranges: dict[str, dict[str, list[float]]] = {}
     if args.paths:
         diags += lint_paths(args.paths)
+        diags += analyze_concurrency(args.paths)
         diags = [d for d in diags if d.check_id not in suppress]
     else:
         from ..core import TaurusConfig
@@ -154,11 +162,20 @@ def main(argv: list[str] | None = None) -> int:
             for d in lint_paths([runtime])
             if d.check_id not in suppress
         ]
+        progress(f"concurrency analysis over {runtime} ...")
+        diags += [
+            d
+            for d in analyze_concurrency([runtime])
+            if d.check_id not in suppress
+        ]
 
     gating = [d for d in diags if d.severity >= Severity.WARNING]
     exit_code = 1 if gating else 0
-    if as_json:
+    if args.format == "json":
         print(json.dumps(_json_report(diags, fusion_plans, ranges, exit_code)))
+        return exit_code
+    if args.format == "sarif":
+        print(json.dumps(_sarif_report(diags)))
         return exit_code
 
     shown = diags if args.verbose else gating
@@ -202,6 +219,91 @@ def _json_report(diags, fusion_plans, ranges, exit_code) -> dict:
         "fusion_plans": fusion_plans,
         "ranges": ranges,
     }
+
+
+#: SARIF "level" per catalog severity (SARIF has no first-class info tier
+#: for gate purposes; "note" keeps advisory findings out of PR blocking).
+_SARIF_LEVELS = {
+    Severity.ERROR: "error",
+    Severity.WARNING: "warning",
+    Severity.INFO: "note",
+}
+
+
+def _sarif_report(diags) -> dict:
+    """One SARIF 2.1.0 run for ``github/codeql-action/upload-sarif``.
+
+    Every catalog check ships as a rule (so suppressed/clean checks still
+    appear in the code-scanning config); findings carry physical file/line
+    locations when they anchor to source, and fall back to the logical
+    graph name otherwise.
+    """
+    rules = [
+        {
+            "id": spec.check_id,
+            "shortDescription": {"text": spec.summary},
+            "properties": {"category": spec.category},
+            "defaultConfiguration": {"level": _SARIF_LEVELS[spec.severity]},
+        }
+        for spec in CHECKS.values()
+    ]
+    rule_index = {rule["id"]: i for i, rule in enumerate(rules)}
+    results = []
+    for d in diags:
+        result = {
+            "ruleId": d.check_id,
+            "level": _SARIF_LEVELS[d.severity],
+            "message": {"text": d.message},
+        }
+        if d.check_id in rule_index:
+            result["ruleIndex"] = rule_index[d.check_id]
+        if d.source.endswith(".py"):
+            region = {"startLine": d.line} if d.line else {}
+            result["locations"] = [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {"uri": _relative_uri(d.source)},
+                        **({"region": region} if region else {}),
+                    }
+                }
+            ]
+        else:
+            result["locations"] = [
+                {
+                    "logicalLocations": [
+                        {"fullyQualifiedName": d.source, "kind": "module"}
+                    ]
+                }
+            ]
+        results.append(result)
+    return {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+            "Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro.analysis",
+                        "informationUri": "https://github.com/",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def _relative_uri(source: str) -> str:
+    """Repo-relative POSIX path when possible (SARIF wants URIs)."""
+    path = Path(source)
+    try:
+        return path.resolve().relative_to(Path.cwd()).as_posix()
+    except ValueError:
+        return path.as_posix()
 
 
 def _finite(value: float) -> float | None:

@@ -53,7 +53,7 @@ class CheckSpec:
 
     check_id: str
     severity: Severity
-    category: str  # "shape" | "structure" | "budget" | "fabric" | "range" | "fork-safety"
+    category: str  # "shape" | "structure" | "budget" | "fabric" | "range" | "fork-safety" | "concurrency"
     summary: str
 
 
@@ -162,6 +162,28 @@ CHECKS: dict[str, CheckSpec] = {
         _spec("rt-lock-order", Severity.ERROR, "fork-safety",
               "two module-level locks are acquired in inconsistent orders "
               "across functions; concurrent callers can deadlock"),
+        # -- runtime concurrency (repro.analysis.concurrency) ---------------
+        _spec("rt-racy-field", Severity.WARNING, "concurrency",
+              "a shared field is written from one thread and touched from "
+              "another with no lock held on at least one access"),
+        _spec("rt-lockset-inconsistent", Severity.WARNING, "concurrency",
+              "every access to a shared field holds some lock, but no "
+              "single lock is common to all of them — the accesses do not "
+              "actually exclude each other"),
+        _spec("rt-cv-wait-no-predicate", Severity.WARNING, "concurrency",
+              "Condition.wait() outside a while-predicate loop; spurious "
+              "wakeups and missed notifies make the wait unsound"),
+        _spec("rt-cv-notify-unheld", Severity.ERROR, "concurrency",
+              "Condition.notify()/notify_all() without holding the "
+              "condition's lock; CPython raises RuntimeError at runtime"),
+        _spec("rt-frame-unconsumed", Severity.WARNING, "concurrency",
+              "a framed-pipe message kind is produced on one side of the "
+              "protocol with no matching consumer on the peer side (or "
+              "consumed but never produced)"),
+        _spec("rt-ack-window-order", Severity.ERROR, "concurrency",
+              "an ack-window transition violates the append-before-send / "
+              "pop-then-notify condition-variable ordering; replay after a "
+              "crash would drop or duplicate chunks"),
     ]
 }
 

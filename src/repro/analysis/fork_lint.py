@@ -60,6 +60,7 @@ import ast
 from pathlib import Path
 from typing import Iterable
 
+from .cfg import Aliases, function_body_nodes, suppressed, terminal_name
 from .diagnostics import Diagnostic, Severity
 
 __all__ = ["lint_source", "lint_paths"]
@@ -70,69 +71,15 @@ CLOSE_PATH_NAMES = frozenset(
 )
 
 
-class _Aliases:
-    """Best-effort import resolution: local name -> canonical dotted name."""
-
-    def __init__(self, tree: ast.AST) -> None:
-        self.modules: dict[str, str] = {}
-        self.names: dict[str, str] = {}
-        for node in ast.walk(tree):
-            if isinstance(node, ast.Import):
-                for alias in node.names:
-                    root = alias.name.split(".")[0]
-                    if alias.asname:
-                        self.modules[alias.asname] = alias.name
-                    else:
-                        self.modules[root] = root
-            elif isinstance(node, ast.ImportFrom) and node.module:
-                for alias in node.names:
-                    self.names[alias.asname or alias.name] = (
-                        f"{node.module}.{alias.name}"
-                    )
-
-    def resolve(self, func: ast.expr) -> str | None:
-        """Canonical name of a call target (``os.fork``), or None."""
-        if isinstance(func, ast.Name):
-            return self.names.get(func.id)
-        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
-            module = self.modules.get(func.value.id)
-            if module is not None:
-                return f"{module}.{func.attr}"
-        return None
-
-
-def _function_body_nodes(fn: ast.AST) -> list[ast.AST]:
-    """Every AST node in ``fn``'s own body, excluding nested scopes."""
-    nodes: list[ast.AST] = []
-    stack: list[ast.AST] = list(ast.iter_child_nodes(fn))
-    while stack:
-        node = stack.pop()
-        nodes.append(node)
-        if isinstance(
-            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
-        ):
-            continue  # nested scopes are linted as their own functions
-        stack.extend(ast.iter_child_nodes(node))
-    return nodes
-
-
-def _terminal_name(expr: ast.expr) -> str | None:
-    if isinstance(expr, ast.Name):
-        return expr.id
-    if isinstance(expr, ast.Attribute):
-        return expr.attr
-    return None
-
-
 def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
     """Lint one Python source text; returns fork-safety findings."""
     tree = ast.parse(source, filename=path)
-    aliases = _Aliases(tree)
+    aliases = Aliases(tree)
     lines = source.splitlines()
     diags: list[Diagnostic] = []
 
     def report(check: str, severity: Severity, msg: str, line: int) -> None:
-        if not _suppressed(lines, line, check):
+        if not suppressed(lines, line, check):
             diags.append(Diagnostic(check, severity, msg, path, line=line))
 
     for fn in (
@@ -140,7 +87,7 @@ def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
         for node in ast.walk(tree)
         if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
     ):
-        body = _function_body_nodes(fn)
+        body = function_body_nodes(fn)
         calls = [n for n in body if isinstance(n, ast.Call)]
         resolved = [(c, aliases.resolve(c.func)) for c in calls]
 
@@ -186,7 +133,7 @@ def _lint_fork(fn, body, calls, resolved, fork_calls, report) -> None:
         for node in body
         if isinstance(node, ast.With)
         for item in node.items
-        if "lock" in (_terminal_name(item.context_expr) or "").lower()
+        if "lock" in (terminal_name(item.context_expr) or "").lower()
     ]
     if held_lock_lines:
         report(
@@ -358,7 +305,7 @@ def _lint_unbounded_queue(fn, calls, resolved, report) -> None:
 def _lock_name(expr: ast.expr) -> str | None:
     """The lock-ish name a ``with`` item acquires, if any."""
     target = expr.func if isinstance(expr, ast.Call) else expr
-    name = _terminal_name(target)
+    name = terminal_name(target)
     if name is not None and "lock" in name.lower():
         return name
     return None
@@ -430,21 +377,6 @@ def _lint_lock_order(tree: ast.AST, report) -> None:
                     "one each",
                     line,
                 )
-
-
-def _suppressed(lines: list[str], lineno: int, check: str) -> bool:
-    """``# noqa`` (all) or ``# noqa: id1, id2`` (listed) on the line."""
-    if not 1 <= lineno <= len(lines):
-        return False
-    line = lines[lineno - 1]
-    marker = line.find("# noqa")
-    if marker < 0:
-        return False
-    rest = line[marker + len("# noqa"):].strip()
-    if not rest.startswith(":"):
-        return True
-    listed = {item.strip() for item in rest[1:].split(",")}
-    return check in listed
 
 
 def lint_paths(paths: Iterable[str | Path]) -> list[Diagnostic]:

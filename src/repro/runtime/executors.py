@@ -341,7 +341,7 @@ def _serve(
                 write_frame(tx, blob)
 
         def _handle(kind, payload):
-            state["busy_since"] = time.monotonic()
+            state["busy_since"] = time.monotonic()  # noqa: rt-racy-field - heartbeat telemetry tolerates staleness; dict item writes are atomic under the GIL
             try:
                 try:
                     return (True, context.handle(kind, payload))
@@ -470,7 +470,7 @@ class ForkWorker:
             return False
         pid, status = os.waitpid(self.pid, os.WNOHANG)
         if pid:
-            self._exit_status = os.waitstatus_to_exitcode(status)
+            self._exit_status = os.waitstatus_to_exitcode(status)  # noqa: rt-racy-field - reap() serializes on waitpid; a racing observer tolerates the ChildProcessError tie
             return False
         return True
 

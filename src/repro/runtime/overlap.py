@@ -161,7 +161,7 @@ class prefetch(Iterator[T]):
     def _shutdown(self) -> None:
         if self._finished:
             return
-        self._finished = True
+        self._finished = True  # noqa: rt-racy-field - idempotent-close flag; the _stop Event is the cross-thread fence
         self._stop.set()
         # Unblock a producer parked in put(): after the drain it either
         # completes one pending put into free space or times out, sees the

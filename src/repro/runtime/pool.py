@@ -167,7 +167,7 @@ class PipelineShardWorker:
                 self.pipeline.state_delta(self._base) if want_delta else None
             )
             return result, delta
-        if kind == "score":
+        if kind == "score":  # noqa: rt-frame-unconsumed - produced by callers above the runtime package (apps submit scoring requests)
             return self.pipeline.block.graph.execute_batch(payload)[:, 0]
         if kind == "restore":
             self.pipeline.restore_state(payload)
@@ -184,7 +184,7 @@ class PipelineShardWorker:
             return True
         if kind == "snapshot":
             return self.pipeline.state_snapshot()
-        if kind == "ping":
+        if kind == "ping":  # noqa: rt-frame-unconsumed - produced by callers above the runtime package (liveness probes in tests/tools)
             return "pong"
         raise ValueError(f"unknown request kind {kind!r}")
 
@@ -339,7 +339,7 @@ class _ForkSlot:
         # with a wedged writer AND a stuck child must not spend the full
         # timeout once per stage.
         deadline = time.monotonic() + timeout
-        self._closing = True
+        self._closing = True  # noqa: rt-racy-field - monotonic shutdown flag; the pump thread observes it at the next frame boundary
         _bounded_put(
             self._requests, _SHUTDOWN,
             give_up=lambda: time.monotonic() >= deadline,
@@ -438,7 +438,7 @@ class _ThreadSlot:
 
     def close(self, timeout: float) -> None:
         deadline = time.monotonic() + timeout
-        self._closing = True
+        self._closing = True  # noqa: rt-racy-field - monotonic shutdown flag; the run thread observes it at the next queue poll
         _bounded_put(
             self._requests, _SHUTDOWN,
             give_up=lambda: time.monotonic() >= deadline,
@@ -672,9 +672,9 @@ class ShardPool:
         state, so a replaced worker resumes consistent with the parent).
         A closed pool only reaps — no fresh worker to leak."""
         self._slots[index].close(self.close_timeout)
-        if not self._closed:
-            self._slots[index] = self._spawn(index)
-            self.health.worker(index).restarts += 1
+        if not self._closed:  # noqa: rt-racy-field - monotonic bool; a supervisor reading stale False takes one extra recovery lap, harmlessly
+            self._slots[index] = self._spawn(index)  # noqa: rt-racy-field - per-index slot replacement; list cell assignment is atomic under the GIL and each index is owned by its supervisor during recovery
+            self.health.worker(index).restarts += 1  # noqa: rt-racy-field - advisory restart counter; per-index single writer during recovery
 
     def close(self) -> None:
         """Deterministic shutdown, safe under an abandoned mid-trace run.
@@ -769,10 +769,10 @@ class ShardPool:
         """Record a worker death on the health surface."""
         worker_health = self.health.worker(index)
         if exc.hung:
-            worker_health.hangs += 1
+            worker_health.hangs += 1  # noqa: rt-racy-field - advisory counter, one supervisor writer per index; healthy() reads are monotonic
         else:
-            worker_health.crashes += 1
-        worker_health.last_error = str(exc)
+            worker_health.crashes += 1  # noqa: rt-racy-field - advisory counter, one supervisor writer per index; healthy() reads are monotonic
+        worker_health.last_error = str(exc)  # noqa: rt-racy-field - diagnostic string, one supervisor writer per index; readers tolerate any published value
 
     def _drain_all(
         self,
@@ -798,7 +798,7 @@ class ShardPool:
                     # Nothing more will arrive from this worker: the
                     # child died (or the watchdog killed it).
                     self._note_crash(index, exc)
-                    errors[index] = exc
+                    errors[index] = exc  # noqa: rt-racy-field - per-index disjoint keys; the parent reads only after joining every collector
                     return
                 except WorkerDispatchError as exc:
                     # The dispatch stream stopped short; the worker is
@@ -1051,7 +1051,7 @@ class ShardPool:
                 try:
                     response = self._slots[index].recv(self.hang_timeout)
                 except WorkerCrash as exc:
-                    attempt.dead = True
+                    attempt.dead = True  # noqa: rt-racy-field - deliberately unlatched kill flag; worst case one extra chunk parks in pending for replay
                     with run.cv:
                         run.cv.notify_all()
                     exc.last_acked = (
@@ -1062,9 +1062,12 @@ class ShardPool:
                         run.error = exc
                         return
                     crashes_this_run += 1
-                    head = (
-                        run.pending[0][0] if run.pending else run.next_ordinal
-                    )
+                    with run.cv:
+                        head = (
+                            run.pending[0][0]
+                            if run.pending
+                            else run.next_ordinal
+                        )
                     retries[head] = retries.get(head, 0) + 1
                     if retries[head] > self.max_chunk_retries:
                         run.error = PoisonChunk(index, head, retries[head])
@@ -1162,7 +1165,7 @@ class ShardPool:
                 response = self.contexts[index].handle(kind, payload)
             run.results[ordinal] = response
             run.collected += 1
-            worker_health.degraded_chunks += 1
+            worker_health.degraded_chunks += 1  # noqa: rt-racy-field - advisory counter; degraded mode runs single-threaded for its shard
             if on_result is not None:
                 on_result(index, ordinal, response)
 
@@ -1185,7 +1188,7 @@ class ShardPool:
                     )
                     return
                 ordinal = run.next_ordinal
-                run.next_ordinal += 1
+                run.next_ordinal += 1  # noqa: rt-racy-field - degraded mode owns the run exclusively; the windowed writer was joined before entry
                 execute(ordinal, kind, payload)
         except BaseException as exc:
             run.error = exc

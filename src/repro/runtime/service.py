@@ -460,7 +460,10 @@ class InferenceService:
         return None
 
     def _decide(self, pending: _Pending) -> None:
-        state = self._clients[pending.client]
+        # _clients gains entries from concurrent submits under _lock;
+        # the dispatch lock alone does not exclude those inserts.
+        with self._lock:
+            state = self._clients[pending.client]
         now = self.clock()
         if pending.deadline_at is not None and now > pending.deadline_at:
             with self._lock:
@@ -632,13 +635,16 @@ class InferenceService:
     # ------------------------------------------------------------------
     def start(self) -> "InferenceService":
         """Spawn the dispatcher thread (idempotent)."""
-        if self._closed:
-            raise RuntimeError("service is closed")
-        if self._thread is None or not self._thread.is_alive():
-            self._thread = threading.Thread(
-                target=self._serve_loop, name="inference-service", daemon=True
-            )
-            self._thread.start()
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            if self._thread is None or not self._thread.is_alive():
+                self._thread = threading.Thread(
+                    target=self._serve_loop,
+                    name="inference-service",
+                    daemon=True,
+                )
+                self._thread.start()
         return self
 
     def _serve_loop(self) -> None:
@@ -689,15 +695,17 @@ class InferenceService:
 
     def close(self, timeout: float = 30.0) -> None:
         """Drain, stop the dispatcher, and (if owned) close the backend."""
-        if self._closed:
-            return
+        with self._lock:
+            if self._closed:
+                return
         self.drain(timeout=timeout)
         with self._lock:
             self._closed = True
             self._work.notify_all()
-        if self._thread is not None:
-            self._thread.join(timeout=timeout)
+            thread = self._thread
             self._thread = None
+        if thread is not None:
+            thread.join(timeout=timeout)
         if self.own_backend and hasattr(self.backend, "close"):
             self.backend.close()
 

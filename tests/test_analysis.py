@@ -95,7 +95,7 @@ class TestCatalog:
             assert spec.check_id == check_id
             assert spec.category in (
                 "shape", "structure", "budget", "fabric", "fork-safety",
-                "range",
+                "range", "concurrency",
             )
             assert spec.summary
 
@@ -103,7 +103,8 @@ class TestCatalog:
         assert len(CHECKS) >= 8
         categories = {spec.category for spec in CHECKS.values()}
         assert {
-            "shape", "structure", "budget", "fork-safety", "range"
+            "shape", "structure", "budget", "fork-safety", "range",
+            "concurrency",
         } <= categories
 
     def test_severity_ordering(self):

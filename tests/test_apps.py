@@ -182,6 +182,35 @@ class TestElasticRSS:
         with pytest.raises(ValueError):
             rss.set_weight(0, -1.0)
 
+    def test_scores_batch_bit_identical_to_scalar(self):
+        rss = ElasticRSS(n_cores=8, weights=np.array([1, 2, 0, 1, 3, 1, 1, 0.5]))
+        flows = self._flows(200)
+        batched = rss.scores_batch(flows)
+        assert batched.shape == (len(flows), 8)
+        for i, flow in enumerate(flows):
+            assert np.array_equal(batched[i], rss.scores(flow))
+
+    def test_select_core_batch_bit_identical_to_scalar(self):
+        rss = ElasticRSS(n_cores=8)
+        flows = self._flows(300)
+        scalar = np.array([rss.select_core(f) for f in flows])
+        batched = rss.select_core_batch(flows)
+        assert batched.dtype == np.int64
+        assert np.array_equal(batched, scalar)
+
+    def test_select_core_batch_records_assignments(self):
+        rss = ElasticRSS(n_cores=4)
+        flows = self._flows(50)
+        cores = rss.select_core_batch(flows)
+        for flow, core in zip(flows, cores):
+            assert rss.assignments[rss._flow_key(flow)] == int(core)
+
+    def test_batch_empty(self):
+        rss = ElasticRSS(n_cores=4)
+        assert rss.scores_batch([]).shape == (0, 4)
+        empty = rss.select_core_batch([])
+        assert empty.shape == (0,) and empty.dtype == np.int64
+
 
 class TestClusterPurity:
     def test_perfect(self):
